@@ -1,0 +1,31 @@
+//! The experiment harness: regenerates every theorem-level table of the
+//! reproduction (DESIGN.md §3, EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo bench -p asym-bench --bench tables                 # standard scale
+//! ASYM_BENCH_SCALE=smoke cargo bench -p asym-bench --bench tables
+//! ASYM_BENCH_SCALE=full  cargo bench -p asym-bench --bench tables
+//! ```
+
+use asym_bench::{experiments, Scale};
+use std::time::Instant;
+
+fn main() {
+    // `cargo bench` passes --bench; ignore all args.
+    let scale = Scale::from_env();
+    println!("# Sorting with Asymmetric Read and Write Costs — experiment tables");
+    println!("# scale: {scale:?} (set ASYM_BENCH_SCALE=smoke|standard|full)\n");
+    let overall = Instant::now();
+    for e in experiments() {
+        let start = Instant::now();
+        println!("---------------------------------------------------------------");
+        println!("{} — {}", e.id, e.claim);
+        println!("---------------------------------------------------------------");
+        let tables = (e.run)(scale);
+        for t in tables {
+            println!("{t}");
+        }
+        println!("[{} finished in {:.1?}]\n", e.id, start.elapsed());
+    }
+    println!("all experiments completed in {:.1?}", overall.elapsed());
+}

@@ -1,0 +1,69 @@
+//! Criterion wall-clock benchmarks of the *real* (non-simulated)
+//! implementations: the RAM tree sort, the threaded sample sort, and the
+//! std-library sort as the reference point. The simulated-model experiments
+//! live in the `tables` bench; these numbers are about implementation
+//! overhead, not model costs.
+
+use asym_core::par::par_sample_sort;
+use asym_core::ram::tree_sort::tree_sort;
+use asym_model::workload::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort-wallclock");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[1usize << 14, 1 << 16] {
+        let input = Workload::UniformRandom.generate(n, 1);
+        group.bench_with_input(BenchmarkId::new("std-sort", n), &input, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                v.sort_unstable();
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree-sort", n), &input, |b, input| {
+            b.iter(|| tree_sort(input))
+        });
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("par-sample-sort-t{threads}"), n),
+                &input,
+                |b, input| b.iter(|| par_sample_sort(input, threads, 7)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pq(c: &mut Criterion) {
+    use asym_core::ram::pq::RamPriorityQueue;
+    use asym_model::MemCounter;
+    let mut group = c.benchmark_group("pq-wallclock");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let n = 1usize << 14;
+    let input = Workload::UniformRandom.generate(n, 2);
+    group.bench_function("ram-pq-insert-drain", |b| {
+        b.iter(|| {
+            let mut pq = RamPriorityQueue::new(MemCounter::new());
+            for &r in &input {
+                pq.insert(r);
+            }
+            let mut out = Vec::with_capacity(n);
+            while let Some(r) = pq.delete_min() {
+                out.push(r);
+            }
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_pq);
+criterion_main!(benches);

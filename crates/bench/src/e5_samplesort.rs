@@ -1,0 +1,66 @@
+//! E5 — Theorem 4.5: the AEM sample sort matches the mergesort's
+//! asymptotics: O(kn/B · levels) reads, O(n/B · levels) writes. The table
+//! mirrors E3's sweep and cross-checks the two algorithms' totals.
+
+use crate::Scale;
+use asym_core::em::{aem_mergesort, aem_samplesort, mergesort_slack, samplesort_slack};
+use asym_model::table::{f2, Table};
+use asym_model::workload::Workload;
+use em_sim::{EmConfig, EmMachine, EmVec};
+use rand::SeedableRng;
+
+/// Run E5.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (m, b) = (64usize, 8usize);
+    let n = scale.pick(4_000usize, 40_000, 200_000);
+    let input = Workload::UniformRandom.generate(n, 0xE5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE5);
+
+    let mut t = Table::new(
+        format!("E5: AEM sample sort vs mergesort (M={m}, B={b}, n={n})"),
+        &[
+            "omega",
+            "k",
+            "smp reads",
+            "smp writes",
+            "smp cost",
+            "mrg cost",
+            "smp/mrg",
+            "vs classic",
+        ],
+    );
+    for omega in [8u64, 16] {
+        let mut classic = 0u64;
+        for k in [1usize, 2, 4, 8] {
+            let em =
+                EmMachine::new(EmConfig::new(m, b, omega).with_slack(samplesort_slack(m, b, k)));
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_samplesort(&em, v, k, &mut rng).expect("sample sort");
+            assert_eq!(sorted.len(), n);
+            let s = em.stats();
+            let smp_cost = em.io_cost();
+
+            let em2 =
+                EmMachine::new(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
+            let v2 = EmVec::stage(&em2, &input);
+            aem_mergesort(&em2, v2, k).expect("mergesort");
+            let mrg_cost = em2.io_cost();
+
+            if k == 1 {
+                classic = smp_cost;
+            }
+            t.row(&[
+                omega.to_string(),
+                k.to_string(),
+                s.block_reads.to_string(),
+                s.block_writes.to_string(),
+                smp_cost.to_string(),
+                mrg_cost.to_string(),
+                f2(smp_cost as f64 / mrg_cost as f64),
+                f2(classic as f64 / smp_cost as f64),
+            ]);
+        }
+    }
+    t.note("smp/mrg stays O(1) across k: the two sorts share their asymptotics");
+    vec![t]
+}

@@ -1,0 +1,162 @@
+//! # asym-bench — the experiment harness
+//!
+//! One module per experiment in DESIGN.md §3 (E0–E12); each reproduces one
+//! theorem, lemma, or figure of the paper as a measured table. The
+//! `tables` bench target (`cargo bench -p asym-bench --bench tables`) runs
+//! them all and prints the tables that EXPERIMENTS.md catalogs.
+//!
+//! Scale is controlled by `ASYM_BENCH_SCALE`:
+//! * `smoke` — seconds-fast sanity sizes;
+//! * `standard` (default) — the sizes recorded in EXPERIMENTS.md;
+//! * `full` — larger sweeps for sharper asymptotics.
+
+use asym_model::table::Table;
+
+pub mod e0_ram_sort;
+pub mod e1_pram_sort;
+pub mod e2_partition;
+pub mod e3_mergesort;
+pub mod e4_selection;
+pub mod e5_samplesort;
+pub mod e6_heapsort;
+pub mod e7_policies;
+pub mod e8_co_sort;
+pub mod e9_fft;
+pub mod e10_matmul_em;
+pub mod e11_matmul_co;
+pub mod e12_scheduler;
+
+/// Experiment sweep sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast sanity sizes (CI).
+    Smoke,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Standard,
+    /// Larger sweeps for sharper asymptotics.
+    Full,
+}
+
+impl Scale {
+    /// Read `ASYM_BENCH_SCALE` (default: standard).
+    pub fn from_env() -> Scale {
+        match std::env::var("ASYM_BENCH_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("full") => Scale::Full,
+            _ => Scale::Standard,
+        }
+    }
+
+    /// Pick a value by scale.
+    pub fn pick<T: Copy>(&self, smoke: T, standard: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Standard => standard,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// An experiment: an id, the paper claim it reproduces, and a runner.
+pub struct Experiment {
+    /// Identifier (E0..E12).
+    pub id: &'static str,
+    /// The theorem / lemma / figure being reproduced.
+    pub claim: &'static str,
+    /// Produce the result tables.
+    pub run: fn(Scale) -> Vec<Table>,
+}
+
+/// Every experiment, in presentation order.
+pub fn experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "E0",
+            claim: "§3 RAM: tree sort = O(n log n) reads, O(n) writes",
+            run: e0_ram_sort::run,
+        },
+        Experiment {
+            id: "E1",
+            claim: "Theorem 3.2: PRAM sample sort, O(n) writes, O(ω log n) depth",
+            run: e1_pram_sort::run,
+        },
+        Experiment {
+            id: "E2",
+            claim: "Lemma 3.1: m^(1/3) buckets, max bucket < m^(2/3) log m",
+            run: e2_partition::run,
+        },
+        Experiment {
+            id: "E3",
+            claim: "Theorem 4.3 + Corollary 4.4 + Appendix A: AEM mergesort",
+            run: e3_mergesort::run,
+        },
+        Experiment {
+            id: "E4",
+            claim: "Lemma 4.2: selection-sort base case exact bounds",
+            run: e4_selection::run,
+        },
+        Experiment {
+            id: "E5",
+            claim: "Theorem 4.5: AEM sample sort",
+            run: e5_samplesort::run,
+        },
+        Experiment {
+            id: "E6",
+            claim: "Theorems 4.7/4.10: buffer-tree priority queue + heapsort",
+            run: e6_heapsort::run,
+        },
+        Experiment {
+            id: "E7",
+            claim: "Lemma 2.1: read-write LRU vs the ideal-cache bracket",
+            run: e7_policies::run,
+        },
+        Experiment {
+            id: "E8",
+            claim: "Theorem 5.1 + Figure 1: cache-oblivious sort",
+            run: e8_co_sort::run,
+        },
+        Experiment {
+            id: "E9",
+            claim: "§5.2: cache-oblivious FFT",
+            run: e9_fft::run,
+        },
+        Experiment {
+            id: "E10",
+            claim: "Theorem 5.2: EM blocked matrix multiply",
+            run: e10_matmul_em::run,
+        },
+        Experiment {
+            id: "E11",
+            claim: "Theorem 5.3: ω²-way cache-oblivious matrix multiply",
+            run: e11_matmul_co::run,
+        },
+        Experiment {
+            id: "E12",
+            claim: "§2 scheduler bounds: steals = O(pD) under work stealing",
+            run: e12_scheduler::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_parsing_defaults_to_standard() {
+        assert_eq!(Scale::Standard.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn every_experiment_runs_at_smoke_scale() {
+        for e in experiments() {
+            let tables = (e.run)(Scale::Smoke);
+            assert!(!tables.is_empty(), "{} produced no tables", e.id);
+            for t in &tables {
+                assert!(!t.is_empty(), "{} produced an empty table", e.id);
+            }
+        }
+    }
+}

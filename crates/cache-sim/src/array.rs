@@ -1,0 +1,179 @@
+//! Typed arrays in the simulated address space.
+
+use crate::tracker::Tracker;
+
+/// An array whose element accesses drive a [`Tracker`].
+///
+/// One cell of simulated address space per element, regardless of the Rust
+/// type — the models measure transfers of *records* (or matrix entries /
+/// complex points), so the element is the natural unit.
+///
+/// ```
+/// use cache_sim::{CacheConfig, PolicyChoice, SimArray, Tracker};
+/// let t = Tracker::new(CacheConfig::new(16, 4, 8), PolicyChoice::Lru);
+/// let mut a = SimArray::from_vec(&t, vec![0u64; 8]);
+/// a.write(0, 7);        // write miss: loads the block, marks it dirty
+/// assert_eq!(a.read(1), 0); // hit: same block
+/// t.flush();            // dirty block written back (cost omega)
+/// assert_eq!(t.stats().writebacks, 1);
+/// ```
+#[derive(Clone)]
+pub struct SimArray<T> {
+    data: Vec<T>,
+    base: usize,
+    tracker: Tracker,
+}
+
+impl<T: Copy> SimArray<T> {
+    /// Wrap an existing vector, allocating fresh (block-aligned) addresses.
+    /// The initial contents are *not* charged: the input resides in secondary
+    /// memory, and the first access to each block will miss.
+    pub fn from_vec(tracker: &Tracker, data: Vec<T>) -> Self {
+        let base = tracker.alloc(data.len());
+        Self {
+            data,
+            base,
+            tracker: tracker.clone(),
+        }
+    }
+
+    /// A fresh array of `n` copies of `fill` (uncharged allocation; writing
+    /// real contents through [`write`](Self::write) is what costs).
+    pub fn filled(tracker: &Tracker, n: usize, fill: T) -> Self {
+        Self::from_vec(tracker, vec![fill; n])
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i` (drives the cache).
+    #[inline]
+    pub fn read(&self, i: usize) -> T {
+        self.tracker.access(self.base + i, false);
+        self.data[i]
+    }
+
+    /// Write element `i` (drives the cache).
+    #[inline]
+    pub fn write(&mut self, i: usize, v: T) {
+        self.tracker.access(self.base + i, true);
+        self.data[i] = v;
+    }
+
+    /// Swap two elements (two reads + two writes at the two addresses).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        let a = self.read(i);
+        let b = self.read(j);
+        self.write(i, b);
+        self.write(j, a);
+    }
+
+    /// The tracker this array charges.
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
+    }
+
+    /// Base address (block-aligned).
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Uncharged view (test oracles only).
+    pub fn peek_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Uncharged single-element peek (test oracles only).
+    pub fn peek(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Consume, returning the underlying vector (uncharged; callers that want
+    /// end-to-end cost must [`Tracker::flush`] first so dirty output blocks
+    /// are written back).
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for SimArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimArray")
+            .field("base", &self.base)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::{CacheConfig, PolicyChoice};
+
+    fn lru_tracker(m: usize, b: usize) -> Tracker {
+        Tracker::new(CacheConfig::new(m, b, 4), PolicyChoice::Lru)
+    }
+
+    #[test]
+    fn reads_and_writes_drive_cache() {
+        let t = lru_tracker(8, 4);
+        let mut a = SimArray::from_vec(&t, vec![1u64, 2, 3, 4, 5]);
+        assert_eq!(a.read(0), 1); // miss
+        assert_eq!(a.read(3), 4); // hit (same block)
+        a.write(4, 50); // miss (second block)
+        assert_eq!(a.peek(4), 50);
+        t.flush();
+        let s = t.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn two_arrays_share_one_cache() {
+        let t = lru_tracker(8, 4); // 2 blocks
+        let a = SimArray::from_vec(&t, vec![0u8; 4]);
+        let b = SimArray::from_vec(&t, vec![0u8; 4]);
+        let c = SimArray::from_vec(&t, vec![0u8; 4]);
+        a.read(0);
+        b.read(0);
+        c.read(0); // evicts a's block
+        a.read(0); // miss again
+        assert_eq!(t.stats().loads, 4);
+    }
+
+    #[test]
+    fn swap_is_two_reads_two_writes() {
+        let t = lru_tracker(16, 4);
+        let mut a = SimArray::from_vec(&t, vec![1u32, 2]);
+        a.swap(0, 1);
+        assert_eq!(a.peek_slice(), &[2, 1]);
+        let s = t.stats();
+        assert_eq!(s.accesses, 4);
+    }
+
+    #[test]
+    fn filled_allocates_uncharged() {
+        let t = lru_tracker(16, 4);
+        let a: SimArray<u64> = SimArray::filled(&t, 10, 7);
+        assert_eq!(a.len(), 10);
+        assert!(!a.is_empty());
+        assert_eq!(t.stats().accesses, 0);
+        assert_eq!(a.base() % 4, 0);
+    }
+
+    #[test]
+    fn into_inner_returns_data() {
+        let t = Tracker::null();
+        let mut a = SimArray::from_vec(&t, vec![1, 2, 3]);
+        a.write(0, 9);
+        assert_eq!(a.into_inner(), vec![9, 2, 3]);
+    }
+}

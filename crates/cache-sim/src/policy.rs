@@ -1,0 +1,357 @@
+//! Online replacement policies: unified LRU and the paper's read-write LRU.
+
+use crate::lru::{LruPool, NIL};
+use crate::stats::CacheStats;
+
+/// Map from block id to slot id, grown on demand. One per pool.
+#[derive(Debug, Default)]
+struct SlotMap {
+    slots: Vec<u32>,
+}
+
+impl SlotMap {
+    fn get(&self, block: u32) -> u32 {
+        self.slots.get(block as usize).copied().unwrap_or(NIL)
+    }
+
+    fn set(&mut self, block: u32, slot: u32) {
+        let idx = block as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, NIL);
+        }
+        self.slots[idx] = slot;
+    }
+
+    fn clear(&mut self, block: u32) {
+        if (block as usize) < self.slots.len() {
+            self.slots[block as usize] = NIL;
+        }
+    }
+}
+
+/// Classic fully-associative LRU with dirty bits, charging 1 per load and ω
+/// per dirty-block writeback.
+///
+/// This is the policy the symmetric Ideal-Cache model is 2-approximated by;
+/// under the *asymmetric* model the paper notes plain LRU is **not**
+/// competitive (motivating [`RwLruCache`]), and experiment E7 measures that
+/// gap.
+#[derive(Debug)]
+pub struct LruCache {
+    pool: LruPool,
+    map: SlotMap,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// A cache holding `capacity_blocks` blocks.
+    pub fn new(capacity_blocks: usize) -> Self {
+        Self {
+            pool: LruPool::new(capacity_blocks),
+            map: SlotMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Drive one access to `block`.
+    pub fn access(&mut self, block: u32, is_write: bool) {
+        self.stats.accesses += 1;
+        let slot = self.map.get(block);
+        if slot != NIL {
+            self.stats.hits += 1;
+            self.pool.touch(slot);
+            if is_write {
+                self.pool.set_dirty(slot);
+            }
+            return;
+        }
+        // Miss: make room, then load.
+        if self.pool.is_full() {
+            let (victim, dirty) = self.pool.evict_lru();
+            self.map.clear(victim);
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        self.stats.loads += 1;
+        let slot = self.pool.insert_mru(block, is_write);
+        self.map.set(block, slot);
+    }
+
+    /// Write back all dirty blocks and empty the cache.
+    pub fn flush(&mut self) {
+        for (blk, dirty) in self.pool.drain() {
+            self.map.clear(blk);
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Current tallies.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// The paper's read-write LRU policy (Lemma 2.1).
+///
+/// Two equal-sized pools. Reads are served from the read pool; writes from
+/// the write pool. A read of a block resident only in the write pool copies
+/// it into the read pool; a write of a block resident only in the read pool
+/// *moves* it to the write pool (the read copy is invalidated so reads never
+/// observe stale data). Blocks in the read pool are always clean; blocks in
+/// the write pool are always dirty:
+///
+/// * read-pool evictions are free (clean);
+/// * write-pool evictions write back (cost ω);
+/// * loads from secondary memory cost 1, whichever pool they fill.
+#[derive(Debug)]
+pub struct RwLruCache {
+    read_pool: LruPool,
+    write_pool: LruPool,
+    read_map: SlotMap,
+    write_map: SlotMap,
+    stats: CacheStats,
+}
+
+impl RwLruCache {
+    /// A cache with `pool_blocks` blocks in **each** of the two pools
+    /// (matching Lemma 2.1's "cache sizes (read and write pools) M_L").
+    pub fn new(pool_blocks: usize) -> Self {
+        Self {
+            read_pool: LruPool::new(pool_blocks),
+            write_pool: LruPool::new(pool_blocks),
+            read_map: SlotMap::default(),
+            write_map: SlotMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache with explicit per-pool capacities (ablation experiments).
+    pub fn with_pools(read_blocks: usize, write_blocks: usize) -> Self {
+        Self {
+            read_pool: LruPool::new(read_blocks),
+            write_pool: LruPool::new(write_blocks),
+            read_map: SlotMap::default(),
+            write_map: SlotMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn make_room_read(&mut self) {
+        if self.read_pool.is_full() {
+            let (victim, dirty) = self.read_pool.evict_lru();
+            debug_assert!(!dirty, "read pool must stay clean");
+            self.read_map.clear(victim);
+        }
+    }
+
+    fn make_room_write(&mut self) {
+        if self.write_pool.is_full() {
+            let (victim, dirty) = self.write_pool.evict_lru();
+            debug_assert!(dirty, "write pool entries are always dirty");
+            self.write_map.clear(victim);
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Drive one access to `block`.
+    pub fn access(&mut self, block: u32, is_write: bool) {
+        self.stats.accesses += 1;
+        if is_write {
+            let wslot = self.write_map.get(block);
+            if wslot != NIL {
+                self.stats.hits += 1;
+                self.write_pool.touch(wslot);
+                return;
+            }
+            let rslot = self.read_map.get(block);
+            if rslot != NIL {
+                // Move read-pool copy into the write pool (internal transfer,
+                // no secondary-memory traffic). Invalidate the read copy so
+                // later reads cannot see stale data.
+                self.stats.hits += 1;
+                self.read_pool.remove(rslot);
+                self.read_map.clear(block);
+                self.make_room_write();
+                let slot = self.write_pool.insert_mru(block, true);
+                self.write_map.set(block, slot);
+                return;
+            }
+            // Write miss: load the block into the write pool (write-allocate).
+            self.make_room_write();
+            self.stats.loads += 1;
+            let slot = self.write_pool.insert_mru(block, true);
+            self.write_map.set(block, slot);
+        } else {
+            let rslot = self.read_map.get(block);
+            if rslot != NIL {
+                self.stats.hits += 1;
+                self.read_pool.touch(rslot);
+                return;
+            }
+            let wslot = self.write_map.get(block);
+            if wslot != NIL {
+                // Serve the read from the dirty copy in the write pool.
+                // (The paper copies the block into the read pool; copying
+                // would leave a copy that later writes silently make stale, so
+                // we serve in place — cost accounting is identical: no
+                // secondary-memory transfer is charged either way.)
+                self.stats.hits += 1;
+                self.write_pool.touch(wslot);
+                return;
+            }
+            // Read miss: load into the read pool.
+            self.make_room_read();
+            self.stats.loads += 1;
+            let slot = self.read_pool.insert_mru(block, false);
+            self.read_map.set(block, slot);
+        }
+    }
+
+    /// Write back the whole write pool and empty both pools.
+    pub fn flush(&mut self) {
+        for (blk, _) in self.read_pool.drain() {
+            self.read_map.clear(blk);
+        }
+        for (blk, dirty) in self.write_pool.drain() {
+            self.write_map.clear(blk);
+            debug_assert!(dirty);
+            self.stats.writebacks += 1;
+        }
+    }
+
+    /// Current tallies.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_counts_hits_and_misses() {
+        let mut c = LruCache::new(2);
+        c.access(0, false); // miss
+        c.access(0, false); // hit
+        c.access(1, false); // miss
+        c.access(2, false); // miss evicting 0 (clean)
+        c.access(0, false); // miss evicting 1
+        let s = c.stats();
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.loads, 4);
+        assert_eq!(s.writebacks, 0);
+    }
+
+    #[test]
+    fn lru_charges_dirty_evictions() {
+        let mut c = LruCache::new(1);
+        c.access(0, true); // load, dirty
+        c.access(1, false); // evicts dirty 0 -> writeback
+        c.access(2, false); // evicts clean 1 -> free
+        let s = c.stats();
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.cost(10), 3 + 10);
+    }
+
+    #[test]
+    fn lru_flush_writes_back_dirty_only() {
+        let mut c = LruCache::new(4);
+        c.access(0, true);
+        c.access(1, false);
+        c.access(2, true);
+        c.flush();
+        assert_eq!(c.stats().writebacks, 2);
+        // After flush everything misses again.
+        c.access(0, false);
+        assert_eq!(c.stats().loads, 4);
+    }
+
+    #[test]
+    fn lru_write_hit_marks_dirty() {
+        let mut c = LruCache::new(2);
+        c.access(0, false);
+        c.access(0, true); // hit, now dirty
+        c.flush();
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn rwlru_read_and_write_pools_are_separate() {
+        let mut c = RwLruCache::new(1);
+        c.access(0, false); // read pool: {0}
+        c.access(1, true); // write pool: {1}
+        c.access(0, false); // hit in read pool
+        c.access(1, true); // hit in write pool
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.writebacks, 0);
+    }
+
+    #[test]
+    fn rwlru_write_pool_eviction_charges_writeback() {
+        let mut c = RwLruCache::new(1);
+        c.access(0, true);
+        c.access(1, true); // evicts dirty 0
+        let s = c.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn rwlru_read_pool_eviction_is_free() {
+        let mut c = RwLruCache::new(1);
+        c.access(0, false);
+        c.access(1, false); // evicts clean 0, no writeback
+        assert_eq!(c.stats().writebacks, 0);
+        assert_eq!(c.stats().loads, 2);
+    }
+
+    #[test]
+    fn rwlru_write_after_read_moves_block() {
+        let mut c = RwLruCache::new(2);
+        c.access(0, false); // read pool
+        c.access(0, true); // moved to write pool (hit, no load)
+        let s = c.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.hits, 1);
+        // Read again: served from the write pool (dirty copy), no load.
+        c.access(0, false);
+        assert_eq!(c.stats().hits, 2);
+        c.flush();
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn rwlru_flush_empties_both_pools() {
+        let mut c = RwLruCache::new(2);
+        c.access(0, false);
+        c.access(1, true);
+        c.flush();
+        assert_eq!(c.stats().writebacks, 1);
+        c.access(0, false);
+        c.access(1, false);
+        assert_eq!(c.stats().loads, 4);
+    }
+
+    #[test]
+    fn rwlru_with_asymmetric_pools() {
+        let mut c = RwLruCache::with_pools(2, 1);
+        c.access(0, true);
+        c.access(1, true); // evicts 0
+        c.access(2, false);
+        c.access(3, false); // read pool holds 2 and 3
+        c.access(2, false);
+        let s = c.stats();
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.hits, 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! §5.3 — matrix multiplication with asymmetric read/write costs.
+//!
+//! Four multipliers over n×n row-major `SimArray<f64>` matrices:
+//!
+//! * [`mm_naive`] — the textbook triple loop (baseline; pathological B
+//!   column traffic).
+//! * [`mm_em_blocked`] — Theorem 5.2: √M×√M tiles, each C tile resident
+//!   until complete: O(n³/(B√M)) reads but only O(n²/B) writes. Cache-aware
+//!   (takes the tile size).
+//! * [`mm_co_4way`] — the standard cache-oblivious divide-and-conquer
+//!   (2×2 block recursion, 8 sequential sub-products): Θ(n³/(B√M)) reads
+//!   *and* writes.
+//! * [`mm_co_asym`] — Theorem 5.3: ω²-way recursion with the ω sub-products
+//!   of each output block processed sequentially (so the ideal/LRU cache
+//!   keeps the C block resident across them), plus the randomized b×b first
+//!   round (b uniform in {2, 4, …, 2^⌊log₂ω⌋}) that shaves the expected
+//!   O(log ω) factor.
+
+use cache_sim::SimArray;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Direct-loop threshold for the recursive variants.
+const TILE: usize = 8;
+
+/// A view of an n×n row-major matrix inside a [`SimArray`].
+#[derive(Clone, Copy)]
+struct View {
+    off: usize,
+    stride: usize,
+}
+
+impl View {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> usize {
+        self.off + r * self.stride + c
+    }
+
+    fn sub(&self, r: usize, c: usize, block: usize) -> View {
+        View {
+            off: self.at(r * block, c * block),
+            stride: self.stride,
+        }
+    }
+}
+
+/// C += A·B on size×size views, direct loops (i-k-j order so the C row
+/// stays hot).
+fn mm_base(
+    a: &SimArray<f64>,
+    b: &SimArray<f64>,
+    c: &mut SimArray<f64>,
+    va: View,
+    vb: View,
+    vc: View,
+    size: usize,
+) {
+    for i in 0..size {
+        for k in 0..size {
+            let aik = a.read(va.at(i, k));
+            if aik == 0.0 {
+                // Still counts as read; skipping the inner loop would be a
+                // value-dependent optimization the model doesn't assume.
+            }
+            for j in 0..size {
+                let cur = c.read(vc.at(i, j));
+                let add = aik * b.read(vb.at(k, j));
+                c.write(vc.at(i, j), cur + add);
+            }
+        }
+    }
+}
+
+/// The textbook triple loop: C = A·B.
+pub fn mm_naive(a: &SimArray<f64>, b: &SimArray<f64>, c: &mut SimArray<f64>, n: usize) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a.read(i * n + k) * b.read(k * n + j);
+            }
+            c.write(i * n + j, acc);
+        }
+    }
+}
+
+/// Theorem 5.2: tile the matrices with t×t blocks (t ≈ √(M/3)); each output
+/// tile is accumulated host-side and written exactly once.
+pub fn mm_em_blocked(
+    a: &SimArray<f64>,
+    b: &SimArray<f64>,
+    c: &mut SimArray<f64>,
+    n: usize,
+    t: usize,
+) {
+    assert!(t >= 1 && n.is_multiple_of(t), "tile must divide n");
+    let nt = n / t;
+    let mut acc = vec![0.0f64; t * t];
+    for bi in 0..nt {
+        for bj in 0..nt {
+            acc.iter_mut().for_each(|x| *x = 0.0);
+            for bk in 0..nt {
+                for i in 0..t {
+                    for k in 0..t {
+                        let aik = a.read((bi * t + i) * n + bk * t + k);
+                        for j in 0..t {
+                            acc[i * t + j] += aik * b.read((bk * t + k) * n + bj * t + j);
+                        }
+                    }
+                }
+            }
+            for i in 0..t {
+                for j in 0..t {
+                    c.write((bi * t + i) * n + bj * t + j, acc[i * t + j]);
+                }
+            }
+        }
+    }
+}
+
+/// Standard cache-oblivious 2×2 divide-and-conquer: C += A·B.
+pub fn mm_co_4way(a: &SimArray<f64>, b: &SimArray<f64>, c: &mut SimArray<f64>, n: usize) {
+    assert!(n.is_power_of_two(), "n must be a power of two");
+    let (va, vb, vc) = (
+        View { off: 0, stride: n },
+        View { off: 0, stride: n },
+        View { off: 0, stride: n },
+    );
+    co_rec(a, b, c, va, vb, vc, n, 2, 2);
+}
+
+/// Theorem 5.3: ω²-way recursion, optionally with the randomized first
+/// round (`rng`); ω and n must be powers of two.
+pub fn mm_co_asym(
+    a: &SimArray<f64>,
+    b: &SimArray<f64>,
+    c: &mut SimArray<f64>,
+    n: usize,
+    omega: usize,
+    rng: Option<&mut StdRng>,
+) {
+    assert!(n.is_power_of_two(), "n must be a power of two");
+    assert!(omega.is_power_of_two() && omega >= 2, "omega must be 2^k >= 2");
+    let (va, vb, vc) = (
+        View { off: 0, stride: n },
+        View { off: 0, stride: n },
+        View { off: 0, stride: n },
+    );
+    let first = match rng {
+        Some(rng) => {
+            // b = 2^j, j uniform in 1..=log2(omega).
+            let jmax = omega.trailing_zeros();
+            1usize << rng.gen_range(1..=jmax)
+        }
+        None => omega,
+    };
+    // After the (possibly randomized) first round, the recursion continues
+    // with the full ω × ω branching.
+    co_rec(a, b, c, va, vb, vc, n, first, omega);
+}
+
+/// Shared recursion: split into `branch × branch` blocks; output blocks are
+/// processed one at a time, their `branch` sub-products sequentially.
+/// Deeper rounds use `next_branch`.
+#[allow(clippy::too_many_arguments)]
+fn co_rec(
+    a: &SimArray<f64>,
+    b: &SimArray<f64>,
+    c: &mut SimArray<f64>,
+    va: View,
+    vb: View,
+    vc: View,
+    size: usize,
+    branch: usize,
+    next_branch: usize,
+) {
+    if size <= TILE || size < branch {
+        mm_base(a, b, c, va, vb, vc, size);
+        return;
+    }
+    let branch = branch.max(2);
+    let block = size / branch;
+    debug_assert!(block >= 1);
+    for i in 0..branch {
+        for j in 0..branch {
+            let vcb = vc.sub(i, j, block);
+            for k in 0..branch {
+                co_rec(
+                    a,
+                    b,
+                    c,
+                    va.sub(i, k, block),
+                    vb.sub(k, j, block),
+                    vcb,
+                    block,
+                    next_branch,
+                    next_branch,
+                );
+            }
+        }
+    }
+}
+
+/// Host-side reference multiply (test oracle).
+pub fn host_matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{CacheConfig, PolicyChoice, Tracker};
+    use rand::SeedableRng;
+
+    type MmFn<'a> = &'a dyn Fn(&SimArray<f64>, &SimArray<f64>, &mut SimArray<f64>);
+
+    fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    fn run_variant(
+        n: usize,
+        f: impl Fn(&SimArray<f64>, &SimArray<f64>, &mut SimArray<f64>),
+    ) -> Vec<f64> {
+        let t = Tracker::null();
+        let am = random_matrix(n, 1);
+        let bm = random_matrix(n, 2);
+        let a = SimArray::from_vec(&t, am.clone());
+        let b = SimArray::from_vec(&t, bm.clone());
+        let mut c = SimArray::filled(&t, n * n, 0.0);
+        f(&a, &b, &mut c);
+        let expect = host_matmul(&am, &bm, n);
+        assert!(max_err(c.peek_slice(), &expect) < 1e-9);
+        c.into_inner()
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let n = 32;
+        run_variant(n, |a, b, c| mm_naive(a, b, c, n));
+        run_variant(n, |a, b, c| mm_em_blocked(a, b, c, n, 8));
+        run_variant(n, |a, b, c| mm_co_4way(a, b, c, n));
+        run_variant(n, |a, b, c| mm_co_asym(a, b, c, n, 4, None));
+        run_variant(n, |a, b, c| {
+            let mut rng = StdRng::seed_from_u64(7);
+            mm_co_asym(a, b, c, n, 4, Some(&mut rng))
+        });
+    }
+
+    #[test]
+    fn odd_tile_sizes_and_small_matrices() {
+        for n in [8usize, 16] {
+            run_variant(n, |a, b, c| mm_co_asym(a, b, c, n, 8, None));
+            run_variant(n, |a, b, c| mm_em_blocked(a, b, c, n, n / 2));
+        }
+    }
+
+    #[test]
+    fn blocked_beats_naive_on_reads() {
+        let n = 64usize;
+        let io = |f: MmFn| {
+            let cfg = CacheConfig::new(512, 8, 8);
+            let t = Tracker::new(cfg, PolicyChoice::Lru);
+            let a = SimArray::from_vec(&t, random_matrix(n, 1));
+            let b = SimArray::from_vec(&t, random_matrix(n, 2));
+            let mut c = SimArray::filled(&t, n * n, 0.0);
+            f(&a, &b, &mut c);
+            t.flush();
+            (t.stats().loads, t.stats().writebacks)
+        };
+        let (naive_r, _) = io(&|a, b, c| mm_naive(a, b, c, n));
+        let (blocked_r, blocked_w) = io(&|a, b, c| mm_em_blocked(a, b, c, n, 8));
+        assert!(
+            blocked_r * 2 < naive_r,
+            "blocked reads {blocked_r} should be well under naive {naive_r}"
+        );
+        // Theorem 5.2: writes ~ n^2/B.
+        let write_bound = (2 * n * n / 8) as u64;
+        assert!(
+            blocked_w <= write_bound,
+            "blocked writebacks {blocked_w} should be ~n^2/B = {}",
+            n * n / 8
+        );
+    }
+
+    #[test]
+    fn asym_writes_less_than_4way() {
+        let n = 128usize;
+        let io = |f: MmFn| {
+            let cfg = CacheConfig::new(512, 8, 16);
+            let t = Tracker::new(cfg, PolicyChoice::Lru);
+            let a = SimArray::from_vec(&t, random_matrix(n, 3));
+            let b = SimArray::from_vec(&t, random_matrix(n, 4));
+            let mut c = SimArray::filled(&t, n * n, 0.0);
+            f(&a, &b, &mut c);
+            t.flush();
+            (t.stats().loads, t.stats().writebacks)
+        };
+        let (_, w4) = io(&|a, b, c| mm_co_4way(a, b, c, n));
+        let (_, w16) = io(&|a, b, c| mm_co_asym(a, b, c, n, 16, None));
+        assert!(
+            w16 < w4,
+            "omega^2-way recursion should write back less: {w16} vs {w4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let t = Tracker::null();
+        let a = SimArray::from_vec(&t, vec![0.0; 9]);
+        let b = SimArray::from_vec(&t, vec![0.0; 9]);
+        let mut c = SimArray::filled(&t, 9, 0.0);
+        mm_co_4way(&a, &b, &mut c, 3);
+    }
+}

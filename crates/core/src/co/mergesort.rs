@@ -1,0 +1,112 @@
+//! Classic cache-oblivious mergesort.
+//!
+//! Recursive halving with streaming merges: O((n/B)·log₂(n/M)) transfers
+//! without knowing M or B. Serves as (a) the symmetric comparison baseline
+//! for experiment E8 and (b) the sample-sorting subroutine inside the §5.1
+//! sort (the samples are an O(n/log n) fraction, so its cost is lower
+//! order).
+
+use asym_model::Record;
+use cache_sim::SimArray;
+
+/// Host-sort threshold: below this, read + host sort + write back. Kept
+/// small so the recursion — not the base case — determines the I/O shape.
+const BASE: usize = 32;
+
+/// Sort `data[lo..hi)` in place (via one temp array per merge level).
+pub fn co_mergesort(data: &mut SimArray<Record>, lo: usize, hi: usize) {
+    let n = hi - lo;
+    if n <= BASE {
+        let mut host: Vec<Record> = (lo..hi).map(|i| data.read(i)).collect();
+        host.sort_unstable();
+        for (i, r) in host.into_iter().enumerate() {
+            data.write(lo + i, r);
+        }
+        return;
+    }
+    let mid = lo + n / 2;
+    co_mergesort(data, lo, mid);
+    co_mergesort(data, mid, hi);
+    // Merge the halves through a temp array, then copy back.
+    let mut temp = SimArray::filled(data.tracker(), n, Record::default());
+    let (mut i, mut j) = (lo, mid);
+    for t in 0..n {
+        let take_left = if i >= mid {
+            false
+        } else if j >= hi {
+            true
+        } else {
+            data.read(i) <= data.read(j)
+        };
+        let v = if take_left {
+            let v = data.read(i);
+            i += 1;
+            v
+        } else {
+            let v = data.read(j);
+            j += 1;
+            v
+        };
+        temp.write(t, v);
+    }
+    for t in 0..n {
+        data.write(lo + t, temp.read(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_model::record::assert_sorted_permutation;
+    use asym_model::workload::Workload;
+    use cache_sim::{CacheConfig, PolicyChoice, Tracker};
+
+    #[test]
+    fn sorts_all_workloads() {
+        for wl in Workload::ALL {
+            for n in [0usize, 1, 31, 32, 100, 2048] {
+                let input = wl.generate(n, 5);
+                let t = Tracker::null();
+                let mut a = SimArray::from_vec(&t, input.clone());
+                co_mergesort(&mut a, 0, n);
+                assert_sorted_permutation(&input, a.peek_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn subrange_sort_leaves_rest_untouched() {
+        let t = Tracker::null();
+        let input = Workload::Reversed.generate(100, 1);
+        let mut a = SimArray::from_vec(&t, input.clone());
+        co_mergesort(&mut a, 10, 90);
+        assert_eq!(&a.peek_slice()[..10], &input[..10]);
+        assert_eq!(&a.peek_slice()[90..], &input[90..]);
+        assert!(a.peek_slice()[10..90].windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn io_grows_as_n_log_n_over_mb() {
+        // Doubling n past M should grow I/O slightly super-linearly; the
+        // (n/B) log2(n/M) shape means I/O per block grows by ~1 per doubling.
+        let io = |n: usize| {
+            let cfg = CacheConfig::new(256, 16, 4);
+            let t = Tracker::new(cfg, PolicyChoice::Lru);
+            let input = Workload::UniformRandom.generate(n, 3);
+            let mut a = SimArray::from_vec(&t, input);
+            co_mergesort(&mut a, 0, n);
+            t.flush();
+            t.stats().loads as f64
+        };
+        let per_block_small = io(1 << 12) / ((1 << 12) as f64 / 16.0);
+        let per_block_large = io(1 << 15) / ((1 << 15) as f64 / 16.0);
+        assert!(
+            per_block_large > per_block_small + 1.0,
+            "per-block I/O should grow with log(n/M): {per_block_small:.1} -> {per_block_large:.1}"
+        );
+        assert!(
+            per_block_large < per_block_small * 3.0,
+            "...but only logarithmically"
+        );
+    }
+}

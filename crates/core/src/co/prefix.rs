@@ -1,0 +1,65 @@
+//! Prefix sums over simulated arrays.
+//!
+//! A sequential scan is cache-oblivious and I/O-optimal (O(n/B) transfers);
+//! it is what the cache experiments need. The work-depth (parallel) version
+//! lives in `pram::prefix`, where depth is the measured quantity.
+
+use cache_sim::SimArray;
+
+/// Exclusive prefix sums of `src[lo..hi)` written to a fresh array of length
+/// `hi - lo + 1` (last entry = total).
+pub fn co_prefix_sums(src: &SimArray<u64>, lo: usize, hi: usize) -> SimArray<u64> {
+    let n = hi - lo;
+    let mut out = SimArray::filled(src.tracker(), n + 1, 0u64);
+    let mut acc = 0u64;
+    for i in 0..n {
+        out.write(i, acc);
+        acc += src.read(lo + i);
+    }
+    out.write(n, acc);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{CacheConfig, PolicyChoice, Tracker};
+
+    #[test]
+    fn matches_reference() {
+        let t = Tracker::null();
+        let xs = vec![3u64, 1, 4, 1, 5];
+        let a = SimArray::from_vec(&t, xs);
+        let out = co_prefix_sums(&a, 0, 5);
+        assert_eq!(out.peek_slice(), &[0, 3, 4, 8, 9, 14]);
+    }
+
+    #[test]
+    fn subrange() {
+        let t = Tracker::null();
+        let a = SimArray::from_vec(&t, vec![10u64, 1, 2, 3, 10]);
+        let out = co_prefix_sums(&a, 1, 4);
+        assert_eq!(out.peek_slice(), &[0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_range() {
+        let t = Tracker::null();
+        let a = SimArray::from_vec(&t, vec![7u64]);
+        let out = co_prefix_sums(&a, 0, 0);
+        assert_eq!(out.peek_slice(), &[0]);
+    }
+
+    #[test]
+    fn io_is_scan_optimal() {
+        let cfg = CacheConfig::new(256, 16, 4);
+        let t = Tracker::new(cfg, PolicyChoice::Lru);
+        let n = 4096usize;
+        let a = SimArray::from_vec(&t, vec![1u64; n]);
+        let _ = co_prefix_sums(&a, 0, n);
+        t.flush();
+        let s = t.stats();
+        let blocks = (2 * n / 16) as u64; // input + output
+        assert!(s.loads <= blocks + 4, "loads {} ~ 2n/B = {blocks}", s.loads);
+    }
+}

@@ -1,0 +1,395 @@
+//! §5.1 / Figure 1 — the low-depth cache-oblivious sort, asymmetric version.
+//!
+//! One level of recursion over a range of n records:
+//!
+//! * (a) split into √(nω) subarrays of size √(n/ω) and sort each
+//!   recursively;
+//! * (b) sample every ⌈log n⌉-th element of each sorted subarray, sort the
+//!   samples (cache-oblivious mergesort), and pick √(n/ω)−1 splitters;
+//! * (c) count each subarray's bucket boundaries (one merge-like pass),
+//!   transpose the count matrix, prefix-sum it, transpose back, and
+//!   distribute every record to its bucket — all O(n/B) transfers;
+//! * (d) pick ω−1 pivots per bucket and partition it into ω sub-buckets by
+//!   scanning the bucket ω times (the deliberate read/write trade: ω·n/B
+//!   reads buy a √ω-deeper branching and thus fewer write levels);
+//! * recurse on sub-buckets.
+//!
+//! With ω = 1, step (d) vanishes and the algorithm is exactly the original
+//! symmetric BGS low-depth sort — the baseline of experiment E8.
+
+use super::mergesort::co_mergesort;
+use super::prefix::co_prefix_sums;
+use super::transpose::co_transpose;
+use asym_model::Record;
+use cache_sim::SimArray;
+
+/// Figure-1 shape statistics from the **top level** of the recursion.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoSortTelemetry {
+    /// Number of subarrays at the top level (≈ √(nω)).
+    pub subarrays: usize,
+    /// Number of buckets at the top level (≈ √(n/ω)).
+    pub buckets: usize,
+    /// Largest top-level bucket (paper: ≤ 2√(nω)·log n w.h.p.).
+    pub max_bucket: usize,
+    /// Largest top-level sub-bucket (paper: O(√(n/ω)·log n) w.h.p.).
+    pub max_sub_bucket: usize,
+    /// Base-case invocations across the whole sort.
+    pub base_cases: u64,
+    /// Deepest recursion level reached.
+    pub max_depth: u32,
+    /// Progress-fallback host sorts (0 in the w.h.p. regime).
+    pub fallbacks: u64,
+}
+
+/// Sort `data[lo..hi)` with the §5.1 algorithm. `omega ≥ 1` is the
+/// read/write cost ratio (known to the algorithm, per the paper); `base` is
+/// the host-sort threshold (set ≤ M in experiments so base cases fit in
+/// cache).
+pub fn co_asym_sort(
+    data: &mut SimArray<Record>,
+    lo: usize,
+    hi: usize,
+    omega: usize,
+    base: usize,
+) -> CoSortTelemetry {
+    assert!(omega >= 1);
+    let mut tel = CoSortTelemetry::default();
+    sort_range(data, lo, hi, omega, base.max(16), 0, &mut tel);
+    tel
+}
+
+fn host_sort(data: &mut SimArray<Record>, lo: usize, hi: usize) {
+    let mut host: Vec<Record> = (lo..hi).map(|i| data.read(i)).collect();
+    host.sort_unstable();
+    for (i, r) in host.into_iter().enumerate() {
+        data.write(lo + i, r);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sort_range(
+    data: &mut SimArray<Record>,
+    lo: usize,
+    hi: usize,
+    omega: usize,
+    base: usize,
+    depth: u32,
+    tel: &mut CoSortTelemetry,
+) {
+    let n = hi - lo;
+    tel.max_depth = tel.max_depth.max(depth);
+    let sub_size = ((n as f64 / omega as f64).sqrt().floor() as usize).max(2);
+    let lg = (n as f64).log2().ceil().max(1.0) as usize;
+    // Base-case regime: explicitly small, or so small relative to ω that
+    // subarrays of √(n/ω) can't produce even one every-log(n)-th sample.
+    if n <= base || sub_size < 4 || n <= 2 * sub_size || sub_size < lg {
+        tel.base_cases += 1;
+        host_sort(data, lo, hi);
+        return;
+    }
+    let tracker = data.tracker().clone();
+    let num_sub = n.div_ceil(sub_size);
+
+    // (a) Recursively sort the subarrays.
+    for i in 0..num_sub {
+        let s_lo = lo + i * sub_size;
+        let s_hi = (s_lo + sub_size).min(hi);
+        sort_range(data, s_lo, s_hi, omega, base, depth + 1, tel);
+    }
+
+    // (b) Sample every lg-th element of each subarray; sort; pick splitters.
+    let samples_host_len;
+    let mut samples = {
+        let mut tmp: Vec<Record> = Vec::with_capacity(n / lg + num_sub);
+        for i in 0..num_sub {
+            let s_lo = lo + i * sub_size;
+            let s_hi = (s_lo + sub_size).min(hi);
+            let mut idx = s_lo + lg - 1;
+            while idx < s_hi {
+                tmp.push(data.read(idx));
+                idx += lg;
+            }
+        }
+        samples_host_len = tmp.len();
+        let mut arr = SimArray::filled(&tracker, tmp.len().max(1), Record::default());
+        for (i, r) in tmp.into_iter().enumerate() {
+            arr.write(i, r);
+        }
+        arr
+    };
+    co_mergesort(&mut samples, 0, samples_host_len);
+    let num_buckets = sub_size.min(samples_host_len.max(1)).max(1);
+    let mut splitters: Vec<Record> = Vec::with_capacity(num_buckets.saturating_sub(1));
+    for t in 1..num_buckets {
+        let idx = t * samples_host_len / num_buckets;
+        splitters.push(samples.read(idx.min(samples_host_len - 1)));
+    }
+    splitters.dedup();
+    let num_buckets = splitters.len() + 1;
+    if splitters.is_empty() {
+        tel.fallbacks += 1;
+        host_sort(data, lo, hi);
+        return;
+    }
+
+    // (c) Count bucket boundaries per subarray: counts is a num_sub ×
+    // num_buckets row-major matrix (its writes are the O(n/B) the paper
+    // charges this step).
+    let mut counts = SimArray::filled(&tracker, num_sub * num_buckets, 0u64);
+    for i in 0..num_sub {
+        let s_lo = lo + i * sub_size;
+        let s_hi = (s_lo + sub_size).min(hi);
+        let mut j = 0usize; // current bucket
+        let mut run = 0u64;
+        for idx in s_lo..s_hi {
+            let r = data.read(idx);
+            while j < splitters.len() && r > splitters[j] {
+                counts.write(i * num_buckets + j, run);
+                run = 0;
+                j += 1;
+            }
+            run += 1;
+        }
+        counts.write(i * num_buckets + j, run);
+        for rest in (j + 1)..num_buckets {
+            counts.write(i * num_buckets + rest, 0);
+        }
+    }
+
+    // Transpose to bucket-major, prefix-sum, transpose back: offsets[i][j]
+    // = start of subarray i's segment of bucket j, relative to `lo`.
+    let mut counts_t = SimArray::filled(&tracker, num_sub * num_buckets, 0u64);
+    co_transpose(&counts, 0, num_sub, num_buckets, &mut counts_t, 0);
+    let offsets_t = co_prefix_sums(&counts_t, 0, num_sub * num_buckets);
+    let mut offsets = SimArray::filled(&tracker, num_sub * num_buckets, 0u64);
+    co_transpose(&offsets_t, 0, num_buckets, num_sub, &mut offsets, 0);
+
+    // Bucket extents (host bookkeeping, derived from the charged prefix).
+    let mut bucket_start: Vec<usize> = Vec::with_capacity(num_buckets + 1);
+    for j in 0..num_buckets {
+        bucket_start.push(offsets_t.peek(j * num_sub) as usize);
+    }
+    bucket_start.push(n);
+
+    // Distribute into a bucket-contiguous temp array.
+    let mut temp = SimArray::filled(&tracker, n, Record::default());
+    for i in 0..num_sub {
+        let s_lo = lo + i * sub_size;
+        let s_hi = (s_lo + sub_size).min(hi);
+        let mut j = 0usize;
+        let mut pos = offsets.read(i * num_buckets) as usize;
+        for idx in s_lo..s_hi {
+            let r = data.read(idx);
+            while j < splitters.len() && r > splitters[j] {
+                j += 1;
+                pos = offsets.read(i * num_buckets + j) as usize;
+            }
+            temp.write(pos, r);
+            pos += 1;
+        }
+    }
+
+    if depth == 0 {
+        tel.subarrays = num_sub;
+        tel.buckets = num_buckets;
+        tel.max_bucket = (0..num_buckets)
+            .map(|j| bucket_start[j + 1] - bucket_start[j])
+            .max()
+            .unwrap_or(0);
+    }
+
+    // (d) Per bucket: ω−1 pivots, ω scan rounds into sub-buckets (back into
+    // `data`), then recurse. With ω = 1 this reduces to a copy-back.
+    for j in 0..num_buckets {
+        let b_lo = bucket_start[j];
+        let b_hi = bucket_start[j + 1];
+        let b_len = b_hi - b_lo;
+        if b_len == 0 {
+            continue;
+        }
+        if omega == 1 {
+            for t in b_lo..b_hi {
+                let r = temp.read(t);
+                data.write(lo + t, r);
+            }
+            sort_range(data, lo + b_lo, lo + b_hi, omega, base, depth + 1, tel);
+            continue;
+        }
+        // Pivot sample: max(ω, √(ωn)/log n) records, evenly spaced.
+        let want = (omega.max(((omega * n) as f64).sqrt() as usize / lg)).min(b_len);
+        let stride = (b_len / want.max(1)).max(1);
+        let mut pcount = 0usize;
+        let mut pivot_arr = SimArray::filled(&tracker, want.max(1), Record::default());
+        let mut t = b_lo + stride - 1;
+        while t < b_hi && pcount < want {
+            pivot_arr.write(pcount, temp.read(t));
+            pcount += 1;
+            t += stride;
+        }
+        co_mergesort(&mut pivot_arr, 0, pcount);
+        let mut pivots: Vec<Record> = Vec::with_capacity(omega - 1);
+        for q in 1..omega {
+            if pcount == 0 {
+                break;
+            }
+            let idx = q * pcount / omega;
+            pivots.push(pivot_arr.read(idx.min(pcount - 1)));
+        }
+        pivots.dedup();
+
+        // Count sub-bucket sizes (one read pass, host counters).
+        let mut sizes = vec![0usize; pivots.len() + 1];
+        for t in b_lo..b_hi {
+            let r = temp.read(t);
+            sizes[pivots.partition_point(|p| *p < r)] += 1;
+        }
+        // ω passes: pass q writes sub-bucket q contiguously into data.
+        let mut dst = lo + b_lo;
+        for (q, &sz) in sizes.iter().enumerate() {
+            if sz == 0 {
+                continue;
+            }
+            for t in b_lo..b_hi {
+                let r = temp.read(t);
+                if pivots.partition_point(|p| *p < r) == q {
+                    data.write(dst, r);
+                    dst += 1;
+                }
+            }
+        }
+        debug_assert_eq!(dst, lo + b_hi);
+        // Recurse on sub-buckets.
+        let mut s_lo = lo + b_lo;
+        let mut max_sub = 0usize;
+        for &sz in &sizes {
+            if sz == b_len && pivots.is_empty() && b_len > base {
+                // No pivot progress (pathological): host sort to stay total.
+                tel.fallbacks += 1;
+                host_sort(data, s_lo, s_lo + sz);
+            } else if sz > 0 {
+                sort_range(data, s_lo, s_lo + sz, omega, base, depth + 1, tel);
+            }
+            max_sub = max_sub.max(sz);
+            s_lo += sz;
+        }
+        if depth == 0 {
+            tel.max_sub_bucket = tel.max_sub_bucket.max(max_sub);
+        }
+    }
+    if depth == 0 && omega == 1 {
+        tel.max_sub_bucket = tel.max_bucket;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_model::record::assert_sorted_permutation;
+    use asym_model::workload::Workload;
+    use cache_sim::{CacheConfig, PolicyChoice, Tracker};
+
+    fn sort_host(input: &[Record], omega: usize) -> (Vec<Record>, CoSortTelemetry) {
+        let t = Tracker::null();
+        let mut a = SimArray::from_vec(&t, input.to_vec());
+        let tel = co_asym_sort(&mut a, 0, input.len(), omega, 64);
+        (a.into_inner(), tel)
+    }
+
+    #[test]
+    fn sorts_all_workloads_and_omegas() {
+        for wl in Workload::ALL {
+            for omega in [1usize, 2, 4, 16] {
+                let input = wl.generate(3000, 7);
+                let (out, _) = sort_host(&input, omega);
+                assert_sorted_permutation(&input, &out);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in [0usize, 1, 2, 16, 65] {
+            let input = Workload::UniformRandom.generate(n, 1);
+            let (out, _) = sort_host(&input, 4);
+            assert_sorted_permutation(&input, &out);
+        }
+    }
+
+    #[test]
+    fn telemetry_matches_figure_1_shape() {
+        let n = 1 << 14;
+        let omega = 4usize;
+        let input = Workload::UniformRandom.generate(n, 3);
+        let (_, tel) = sort_host(&input, omega);
+        let expect_subs = (n as f64 * omega as f64).sqrt();
+        let expect_buckets = (n as f64 / omega as f64).sqrt();
+        assert!(
+            (tel.subarrays as f64) > expect_subs / 2.0
+                && (tel.subarrays as f64) < expect_subs * 2.0,
+            "subarrays {} vs sqrt(n*omega) = {expect_subs:.0}",
+            tel.subarrays
+        );
+        assert!(
+            (tel.buckets as f64) > expect_buckets / 4.0
+                && (tel.buckets as f64) < expect_buckets * 2.0,
+            "buckets {} vs sqrt(n/omega) = {expect_buckets:.0}",
+            tel.buckets
+        );
+        // Max bucket bound: 2*sqrt(n*omega)*log n w.h.p.
+        let bucket_bound = 2.0 * expect_subs * (n as f64).log2();
+        assert!((tel.max_bucket as f64) < bucket_bound);
+        // Max sub-bucket bound: O(sqrt(n/omega) * log n) w.h.p. (allow 4x).
+        let sub_bound = 4.0 * expect_buckets * (n as f64).log2();
+        assert!(
+            (tel.max_sub_bucket as f64) < sub_bound,
+            "max sub-bucket {} vs bound {sub_bound:.0}",
+            tel.max_sub_bucket
+        );
+        assert_eq!(tel.fallbacks, 0, "w.h.p. regime should need no fallbacks");
+    }
+
+    #[test]
+    fn asymmetric_variant_writes_fewer_blocks() {
+        let n = 1 << 14;
+        let input = Workload::UniformRandom.generate(n, 9);
+        let run = |omega: usize| {
+            let cfg = CacheConfig::new(512, 8, 8);
+            let t = Tracker::new(cfg, PolicyChoice::Lru);
+            let mut a = SimArray::from_vec(&t, input.clone());
+            co_asym_sort(&mut a, 0, n, omega, 256);
+            t.flush();
+            (t.stats().loads, t.stats().writebacks)
+        };
+        let (r1, w1) = run(1);
+        let (r8, w8) = run(8);
+        assert!(
+            w8 < w1,
+            "omega=8 should write back fewer blocks: {w8} vs {w1}"
+        );
+        assert!(r8 > r1, "the write saving costs extra reads: {r8} vs {r1}");
+    }
+
+    #[test]
+    fn omega_one_is_pure_bgs_no_extra_reads() {
+        // With omega = 1 the sub-bucket machinery must not run: the read
+        // count should stay within a small factor of the mergesort baseline.
+        let n = 1 << 13;
+        let input = Workload::UniformRandom.generate(n, 11);
+        let cfg = CacheConfig::new(512, 8, 1);
+        let t = Tracker::new(cfg, PolicyChoice::Lru);
+        let mut a = SimArray::from_vec(&t, input.clone());
+        co_asym_sort(&mut a, 0, n, 1, 256);
+        t.flush();
+        let sort_loads = t.stats().loads;
+        let t2 = Tracker::new(cfg, PolicyChoice::Lru);
+        let mut b = SimArray::from_vec(&t2, input);
+        co_mergesort(&mut b, 0, n);
+        t2.flush();
+        let merge_loads = t2.stats().loads;
+        assert!(
+            sort_loads < 4 * merge_loads,
+            "BGS loads {sort_loads} should be within ~4x of mergesort {merge_loads}"
+        );
+    }
+}

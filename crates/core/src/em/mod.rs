@@ -1,0 +1,29 @@
+//! §4 — sorting on the Asymmetric External Memory machine.
+//!
+//! All three AEM sorts share one idea: trade a factor k = O(ω) extra reads
+//! for a branching factor of l = kM/B (instead of M/B), which divides the
+//! number of levels — and therefore the number of ω-cost writes — by
+//! Θ(1 + log k / log(M/B)). With k = 1 each algorithm is exactly its classic
+//! EM counterpart, which is how the experiments produce their baselines.
+//!
+//! * [`selection`] — Lemma 4.2: sort n ≤ kM records in ≤ k⌈n/B⌉ reads and
+//!   ⌈n/B⌉ writes by k passes of in-memory selection.
+//! * [`mergesort`] — Algorithm 2: l-way merge in rounds with an in-memory
+//!   priority queue.
+//! * [`samplesort`] — §4.2: l-way distribution in k rounds of M/B splitters.
+//! * [`buffer_tree`] — §4.3.1–2: the (l/4, l) buffer tree.
+//! * [`pq`] — §4.3.3: the priority queue with α/β working sets.
+//! * [`heapsort`] — sorting by n inserts + n delete-mins on [`pq`].
+
+pub mod buffer_tree;
+pub mod heapsort;
+pub mod mergesort;
+pub mod pq;
+pub mod samplesort;
+pub mod selection;
+
+pub use heapsort::aem_heapsort;
+pub use mergesort::{aem_mergesort, mergesort_slack};
+pub use pq::AemPriorityQueue;
+pub use samplesort::{aem_samplesort, samplesort_slack};
+pub use selection::selection_sort;

@@ -1,0 +1,388 @@
+//! §4.2 — the AEM l = kM/B-way sample (distribution) sort.
+//!
+//! Each level of recursion selects l−1 splitters from an oversampled random
+//! sample, then partitions the input into l buckets while reading the input
+//! k times: the splitters are processed in rounds of M/B, each round keeping
+//! one block per bucket plus the round's splitters in primary memory and
+//! writing out only the ~1/k fraction of records that belong to the round's
+//! buckets. Writes per level stay at O(n/B); reads grow to O(kn/B).
+//!
+//! Near the bottom of the recursion (n ≤ k²M²/B) the branching factor drops
+//! to l = n/(kM), keeping the splitter-sorting cost a lower-order term
+//! (the paper's "simple solution" guaranteeing l ≤ √(n/B)).
+//!
+//! Sorted buckets stream into one shared output writer so the recursion
+//! produces a single dense array with no partial-block seams between
+//! buckets.
+
+use super::mergesort::{aem_mergesort, mergesort_slack};
+use super::selection::selection_sort_into;
+use asym_model::{ModelError, Record, Result};
+use em_sim::{BlockId, EmMachine, EmVec, EmWriter};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Extra primary memory the sample sort needs beyond M. The partition phase
+/// uses M (bucket blocks) + M/B (splitters) + 2B (input reader + output
+/// writer); sorting the sample reuses the mergesort — whose slack dominates —
+/// while the shared output writer still holds its block.
+pub fn samplesort_slack(m: usize, b: usize, k: usize) -> usize {
+    b + mergesort_slack(m, b, k).max(b + m.div_ceil(b))
+}
+
+/// Sort `input` with the AEM sample sort at write-saving factor `k`
+/// (k=1 is the classic EM distribution sort). Consumes and frees the input.
+pub fn aem_samplesort(
+    machine: &EmMachine,
+    input: EmVec,
+    k: usize,
+    rng: &mut StdRng,
+) -> Result<EmVec> {
+    assert!(k >= 1, "k must be at least 1");
+    let l_full = k * machine.m() / machine.b();
+    if l_full < 2 {
+        return Err(ModelError::Invariant(format!(
+            "branching factor kM/B = {l_full} must be at least 2"
+        )));
+    }
+    let n0 = input.len().max(2);
+    let mut out = EmWriter::new(machine)?;
+    sort_rec(machine, input, k, n0, rng, &mut out)?;
+    Ok(out.finish())
+}
+
+fn sort_rec(
+    machine: &EmMachine,
+    input: EmVec,
+    k: usize,
+    n0: usize,
+    rng: &mut StdRng,
+    out: &mut EmWriter,
+) -> Result<()> {
+    let m = machine.m();
+    let b = machine.b();
+    let n = input.len();
+    if n <= k * m {
+        selection_sort_into(machine, &input, k, out)?;
+        input.free(machine);
+        return Ok(());
+    }
+    // Branching factor: kM/B in general, n/(kM) near the bottom.
+    let l_full = k * m / b;
+    let l = if n <= k * k * m * m / b {
+        (n / (k * m)).max(2).min(l_full)
+    } else {
+        l_full
+    };
+
+    let splitters = choose_splitters(machine, &input, l, n0, rng)?;
+    let buckets = partition(machine, &input, &splitters)?;
+    splitters.free(machine);
+    input.free(machine);
+    for bucket in buckets {
+        sort_rec(machine, bucket, k, n0, rng, out)?;
+    }
+    Ok(())
+}
+
+/// Pick l−1 splitters by oversampling Θ(l log n₀) records, sorting them with
+/// the AEM mergesort, and sub-selecting evenly. Returns a disk-resident
+/// splitter array of at most l−1 strictly increasing records.
+fn choose_splitters(
+    machine: &EmMachine,
+    input: &EmVec,
+    l: usize,
+    n0: usize,
+    rng: &mut StdRng,
+) -> Result<EmVec> {
+    let n = input.len();
+    let target = (4.0 * l as f64 * (n0 as f64).ln()).ceil() as usize;
+    let target = target.clamp(4 * l, n);
+    let p = target as f64 / n as f64;
+
+    // Bernoulli sampling pass over the input.
+    let mut writer = EmWriter::new(machine)?;
+    {
+        let mut reader = input.reader(machine)?;
+        while let Some(r) = reader.next() {
+            if rng.gen_bool(p.min(1.0)) {
+                writer.push(r);
+            }
+        }
+    }
+    let mut sample = writer.finish();
+
+    if sample.len() < 2 * l {
+        // Unlucky draw (possible only at tiny sizes): fall back to a
+        // deterministic evenly-spaced sample, which still guarantees
+        // progress (≥ 2 nonempty buckets).
+        sample.free(machine);
+        let stride = (n / (2 * l)).max(1);
+        let mut det_writer = EmWriter::new(machine)?;
+        let mut reader = input.reader(machine)?;
+        let mut i = 0usize;
+        while let Some(r) = reader.next() {
+            if i.is_multiple_of(stride) {
+                det_writer.push(r);
+            }
+            i += 1;
+        }
+        drop(reader);
+        sample = det_writer.finish();
+    }
+
+    let sorted = aem_mergesort(machine, sample, 1)?;
+    let s_len = sorted.len();
+    // Sub-select l-1 evenly spaced splitters, streaming them to disk.
+    let mut positions: Vec<usize> = (1..l).map(|i| i * s_len / l).collect();
+    positions.dedup();
+    let mut writer = EmWriter::new(machine)?;
+    {
+        let mut reader = sorted.reader(machine)?;
+        let mut idx = 0usize;
+        let mut next = positions.iter().copied().peekable();
+        while let Some(r) = reader.next() {
+            if next.peek() == Some(&idx) {
+                writer.push(r);
+                next.next();
+            }
+            idx += 1;
+        }
+    }
+    sorted.free(machine);
+    Ok(writer.finish())
+}
+
+/// State of one output bucket while partitioning.
+struct BucketOut {
+    blocks: Vec<BlockId>,
+    buf: Vec<Record>,
+    len: usize,
+}
+
+/// Partition `input` into `splitters.len() + 1` buckets, processing the
+/// splitters in rounds of at most M/B each. Each round scans the whole
+/// input but writes only the records belonging to its own buckets.
+fn partition(machine: &EmMachine, input: &EmVec, splitters: &EmVec) -> Result<Vec<EmVec>> {
+    let m = machine.m();
+    let b = machine.b();
+    let group = (m / b).max(1); // buckets materialized per round
+    let s_total = splitters.len();
+    let num_buckets = s_total + 1;
+    let mut buckets: Vec<EmVec> = Vec::with_capacity(num_buckets);
+
+    // Bucket j holds keys in (S[j-1], S[j]], with S[-1] = -inf and
+    // S[num_buckets-1] = +inf. Each round materializes `group` buckets.
+    let mut b_start = 0usize;
+    loop {
+        let b_end = (b_start + group).min(num_buckets);
+        let is_last_round = b_end == num_buckets;
+        // This round's splitters are S[b_start .. b_end-1] (the last bucket
+        // of the round is bounded above by S[b_end-1], or +inf at the end).
+        let s_lo = b_start;
+        let s_hi = (b_end - 1).min(s_total);
+        let _splitter_lease = machine.lease((s_hi - s_lo).max(1))?;
+        let round_splitters = read_range(machine, splitters, s_lo, s_hi)?;
+        // Round bounds: keys in (lower, upper] belong to this round.
+        let lower: Option<Record> = if b_start == 0 {
+            None
+        } else {
+            Some(read_one(machine, splitters, b_start - 1)?)
+        };
+        let upper: Option<Record> = if is_last_round {
+            None // +infinity: final round owns the overflow bucket
+        } else {
+            Some(read_one(machine, splitters, b_end - 1)?)
+        };
+        let cnt = b_end - b_start;
+        let _bucket_lease = machine.lease(cnt * b)?;
+        let mut outs: Vec<BucketOut> = (0..cnt)
+            .map(|_| BucketOut {
+                blocks: Vec::new(),
+                buf: Vec::with_capacity(b),
+                len: 0,
+            })
+            .collect();
+
+        let mut reader = input.reader(machine)?;
+        while let Some(r) = reader.next() {
+            if let Some(lo) = lower {
+                if r <= lo {
+                    continue;
+                }
+            }
+            if let Some(hi) = upper {
+                if r > hi {
+                    continue;
+                }
+            }
+            // Bucket = index of the first splitter >= r; the overflow bucket
+            // catches everything above the round's last splitter.
+            let j = round_splitters.partition_point(|s| *s < r);
+            let out = &mut outs[j];
+            out.buf.push(r);
+            out.len += 1;
+            if out.buf.len() == b {
+                out.blocks
+                    .push(machine.append_block(std::mem::take(&mut out.buf)));
+                out.buf = Vec::with_capacity(b);
+            }
+        }
+        drop(reader);
+        for mut out in outs {
+            if !out.buf.is_empty() {
+                out.blocks
+                    .push(machine.append_block(std::mem::take(&mut out.buf)));
+            }
+            buckets.push(EmVec::from_blocks(out.blocks, out.len));
+        }
+        if is_last_round {
+            break;
+        }
+        b_start = b_end;
+    }
+    debug_assert_eq!(
+        buckets.iter().map(EmVec::len).sum::<usize>(),
+        input.len(),
+        "partition must conserve records"
+    );
+    Ok(buckets)
+}
+
+/// Read records [lo, hi) of a disk array into memory (charged; caller holds
+/// the lease).
+fn read_range(machine: &EmMachine, v: &EmVec, lo: usize, hi: usize) -> Result<Vec<Record>> {
+    if lo >= hi {
+        return Ok(Vec::new());
+    }
+    let b = machine.b();
+    let mut out = Vec::with_capacity(hi - lo);
+    let first_block = lo / b;
+    let last_block = (hi - 1) / b;
+    for bi in first_block..=last_block {
+        let block = machine.read_block(v.block_ids()[bi])?;
+        for (j, &r) in block.iter().enumerate() {
+            let idx = bi * b + j;
+            if idx >= lo && idx < hi {
+                out.push(r);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn read_one(machine: &EmMachine, v: &EmVec, idx: usize) -> Result<Record> {
+    let b = machine.b();
+    let block = machine.read_block(v.block_ids()[idx / b])?;
+    Ok(block[idx % b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_model::record::assert_sorted_permutation;
+    use asym_model::stats::ceil_log_base;
+    use asym_model::workload::Workload;
+    use em_sim::EmConfig;
+    use rand::SeedableRng;
+
+    fn machine(m: usize, b: usize, omega: u64, k: usize) -> EmMachine {
+        EmMachine::new(EmConfig::new(m, b, omega).with_slack(samplesort_slack(m, b, k)))
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sorts_all_workloads() {
+        let (m, b, k) = (32usize, 4usize, 2usize);
+        let em = machine(m, b, 8, k);
+        for wl in Workload::ALL {
+            let input = wl.generate(600, 13);
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_samplesort(&em, v, k, &mut rng(1)).unwrap();
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            sorted.free(&em);
+        }
+    }
+
+    #[test]
+    fn classic_k1_instance_sorts() {
+        let em = machine(16, 4, 1, 1);
+        let input = Workload::UniformRandom.generate(400, 2);
+        let v = EmVec::stage(&em, &input);
+        let sorted = aem_samplesort(&em, v, 1, &mut rng(3)).unwrap();
+        assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+    }
+
+    #[test]
+    fn write_count_tracks_theorem_4_5_shape() {
+        // Writes should be O((n/B) * levels) with a modest constant; we allow
+        // 4x for splitter sorting and partial blocks.
+        for (m, b, k, n) in [(32usize, 4usize, 2usize, 4000usize), (64, 8, 4, 8000)] {
+            let em = machine(m, b, 8, k);
+            let input = Workload::UniformRandom.generate(n, 5);
+            let v = EmVec::stage(&em, &input);
+            em.reset_stats();
+            let sorted = aem_samplesort(&em, v, k, &mut rng(7)).unwrap();
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            let s = em.stats();
+            let blocks = n.div_ceil(b) as u64;
+            let levels = ceil_log_base((k * m) as f64 / b as f64, blocks as f64);
+            assert!(
+                s.block_writes <= 4 * blocks * levels,
+                "(m={m},b={b},k={k},n={n}): writes {} vs O-bound {}",
+                s.block_writes,
+                4 * blocks * levels
+            );
+        }
+    }
+
+    #[test]
+    fn larger_k_reduces_writes() {
+        let (m, b, n) = (32usize, 4usize, 20_000usize);
+        let input = Workload::UniformRandom.generate(n, 17);
+        let writes = |k: usize| {
+            let em = machine(m, b, 8, k);
+            let v = EmVec::stage(&em, &input);
+            em.reset_stats();
+            let sorted = aem_samplesort(&em, v, k, &mut rng(11)).unwrap();
+            let w = em.stats().block_writes;
+            sorted.free(&em);
+            w
+        };
+        let w1 = writes(1);
+        let w4 = writes(4);
+        assert!(
+            w4 < w1,
+            "k=4 should write fewer blocks than classic k=1: {w4} vs {w1}"
+        );
+    }
+
+    #[test]
+    fn disk_is_clean_after_sort() {
+        let em = machine(32, 4, 4, 2);
+        let input = Workload::UniformRandom.generate(700, 23);
+        let v = EmVec::stage(&em, &input);
+        let sorted = aem_samplesort(&em, v, 2, &mut rng(5)).unwrap();
+        assert_eq!(em.live_blocks(), sorted.num_blocks());
+    }
+
+    #[test]
+    fn base_case_only_input() {
+        let em = machine(32, 4, 2, 2);
+        let input = Workload::Reversed.generate(50, 1);
+        let v = EmVec::stage(&em, &input);
+        let sorted = aem_samplesort(&em, v, 2, &mut rng(9)).unwrap();
+        assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+    }
+
+    #[test]
+    fn empty_input() {
+        let em = machine(16, 4, 2, 1);
+        let v = EmVec::stage(&em, &[]);
+        let sorted = aem_samplesort(&em, v, 1, &mut rng(0)).unwrap();
+        assert!(sorted.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Lemma 4.2 — the k-pass selection-sort base case.
+//!
+//! Sorts n ≤ kM records in at most ⌈n/M⌉ ≤ k scans of the input: each pass
+//! keeps the M smallest records larger than everything already written, then
+//! emits them in order. Reads ≤ ⌈n/M⌉·⌈n/B⌉ ≤ k⌈n/B⌉, writes exactly
+//! ⌈n/B⌉ — no matter how large k (and hence the input) is.
+//!
+//! Primary-memory footprint: the M-record candidate set plus the one-block
+//! load and store buffers (the machine must be configured with at least
+//! `M + 2B` capacity; the paper's statement allows `M + B` by folding the
+//! store buffer into the O(log M) output bookkeeping — we charge it
+//! explicitly and give the machine the extra block).
+
+use asym_model::{ModelError, Record, Result};
+use em_sim::{EmMachine, EmVec, EmWriter};
+use std::collections::BinaryHeap;
+
+/// Sort `input` (n ≤ kM) with the Lemma 4.2 selection sort; `k` only bounds
+/// the permitted input size — the pass count is derived from n and M.
+///
+/// The input array is left intact (the caller frees it); the returned array
+/// is freshly written.
+pub fn selection_sort(machine: &EmMachine, input: &EmVec, k: usize) -> Result<EmVec> {
+    let mut writer = EmWriter::new(machine)?;
+    selection_sort_into(machine, input, k, &mut writer)?;
+    Ok(writer.finish())
+}
+
+/// [`selection_sort`] variant streaming the sorted records into an existing
+/// writer (used by the sample sort so bucket outputs concatenate without
+/// partial-block seams).
+pub fn selection_sort_into(
+    machine: &EmMachine,
+    input: &EmVec,
+    k: usize,
+    writer: &mut EmWriter,
+) -> Result<()> {
+    let m = machine.m();
+    let n = input.len();
+    if n > k * m {
+        return Err(ModelError::Invariant(format!(
+            "selection sort requires n <= kM ({n} > {k} * {m})"
+        )));
+    }
+    // The candidate set occupies M records of primary memory for the whole
+    // sort; the reader and writer each lease a block themselves.
+    let _set_lease = machine.lease(m)?;
+    let mut last_written: Option<Record> = None;
+    let mut remaining = n;
+
+    while remaining > 0 {
+        // One pass: collect the M smallest records above `last_written`.
+        // BinaryHeap is a max-heap: peek() is the current M-th smallest.
+        let mut heap: BinaryHeap<Record> = BinaryHeap::with_capacity(m + 1);
+        let mut reader = input.reader(machine)?;
+        while let Some(r) = reader.next() {
+            if let Some(lw) = last_written {
+                if r <= lw {
+                    continue;
+                }
+            }
+            if heap.len() < m {
+                heap.push(r);
+            } else if r < *heap.peek().expect("heap non-empty") {
+                heap.pop();
+                heap.push(r);
+            }
+        }
+        drop(reader);
+        // Emit the pass's records in ascending order (in-memory sort is free).
+        let mut batch = heap.into_sorted_vec();
+        debug_assert!(!batch.is_empty(), "remaining records must be found");
+        last_written = batch.last().copied();
+        remaining -= batch.len();
+        for r in batch.drain(..) {
+            writer.push(r);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_model::record::assert_sorted_permutation;
+    use asym_model::workload::Workload;
+    use em_sim::EmConfig;
+
+    fn machine(m: usize, b: usize, omega: u64) -> EmMachine {
+        // M-record candidate set + load buffer + store buffer.
+        EmMachine::new(EmConfig::new(m, b, omega).with_slack(2 * b))
+    }
+
+    #[test]
+    fn sorts_all_workloads() {
+        let em = machine(32, 4, 8);
+        for wl in Workload::ALL {
+            let input = wl.generate(100, 3); // k=4 passes needed
+            let v = EmVec::stage(&em, &input);
+            let sorted = selection_sort(&em, &v, 4).unwrap();
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            sorted.free(&em);
+            v.free(&em);
+        }
+    }
+
+    #[test]
+    fn respects_lemma_4_2_bounds_exactly() {
+        // n <= kM sorted with <= ceil(n/M)*ceil(n/B) reads and ceil(n/B) writes.
+        let cases = [(64usize, 8usize, 3usize, 150usize), (32, 4, 4, 128), (16, 4, 2, 17)];
+        for (m, b, k, n) in cases {
+            let em = machine(m, b, 4);
+            let input = Workload::UniformRandom.generate(n, 7);
+            let v = EmVec::stage(&em, &input);
+            em.reset_stats();
+            let sorted = selection_sort(&em, &v, k).unwrap();
+            let s = em.stats();
+            let blocks = n.div_ceil(b) as u64;
+            let passes = n.div_ceil(m) as u64;
+            assert!(passes <= k as u64);
+            assert!(
+                s.block_reads <= passes * blocks,
+                "(m={m},b={b},n={n}) reads {} > {}",
+                s.block_reads,
+                passes * blocks
+            );
+            assert_eq!(s.block_writes, blocks, "(m={m},b={b},n={n}) writes");
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+        }
+    }
+
+    #[test]
+    fn single_pass_when_n_fits_in_memory() {
+        let em = machine(64, 8, 4);
+        let input = Workload::Reversed.generate(60, 1);
+        let v = EmVec::stage(&em, &input);
+        em.reset_stats();
+        let sorted = selection_sort(&em, &v, 1).unwrap();
+        let s = em.stats();
+        assert_eq!(s.block_reads, 60u64.div_ceil(8));
+        assert_eq!(s.block_writes, 60u64.div_ceil(8));
+        assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+    }
+
+    #[test]
+    fn rejects_oversized_input() {
+        let em = machine(8, 4, 2);
+        let input = Workload::UniformRandom.generate(100, 0);
+        let v = EmVec::stage(&em, &input);
+        assert!(selection_sort(&em, &v, 2).is_err()); // 100 > 2*8
+    }
+
+    #[test]
+    fn empty_input_sorts_to_empty() {
+        let em = machine(8, 4, 2);
+        let v = EmVec::stage(&em, &[]);
+        let sorted = selection_sort(&em, &v, 1).unwrap();
+        assert!(sorted.is_empty());
+        assert_eq!(em.stats().block_writes, 0);
+    }
+
+    #[test]
+    fn memory_capacity_is_respected() {
+        // A machine with insufficient slack must fault, not silently overrun.
+        let em = EmMachine::new(EmConfig::new(16, 4, 2)); // no slack for buffers
+        let input = Workload::UniformRandom.generate(30, 5);
+        let v = EmVec::stage(&em, &input);
+        assert!(selection_sort(&em, &v, 2).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! A real multi-threaded sample sort (crossbeam scoped threads).
+//!
+//! The PRAM algorithms in [`crate::pram`] are *interpreted* single-threaded
+//! with measured work-depth costs; this module is the executable
+//! counterpart used for wall-clock benchmarking: splitter-based bucketing
+//! with per-thread counting, a shared prefix, and parallel per-bucket
+//! sorts. Statistics are per-thread and merged at the end, so the
+//! instrumentation does not serialize the threads.
+
+pub mod sample_sort;
+
+pub use sample_sort::par_sample_sort;

@@ -1,0 +1,194 @@
+//! Lemma 3.1 — partition m records into m^{1/3} ordered buckets.
+//!
+//! The sub-bucketing tool behind step 6 of Algorithm 1: sort groups of size
+//! m^{1/3} with the O(1)-write RAM sort, sample every ⌈log m⌉-th record of
+//! each sorted group, sort the sample, pick m^{1/3}−1 splitters, and radix-
+//! partition by bucket number. Guarantees max bucket < m^{2/3} log m with
+//! O(m log m) reads, O(m) writes, and O(ω·m^{1/3} log m) depth (group sort)
+//! + radix depth.
+
+use super::merge_sort::pram_merge_sort;
+use super::radix::pram_radix_sort_by;
+use crate::ram::tree_sort::tree_sort_with_counter;
+use asym_model::{MemCounter, Record};
+use wd_sim::Cost;
+
+/// What Lemma 3.1 promises, measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartitionStats {
+    /// Number of buckets produced.
+    pub buckets: usize,
+    /// Largest bucket observed.
+    pub max_bucket: usize,
+    /// The lemma's bound m^{2/3} log m (rounded up).
+    pub bound: usize,
+}
+
+/// Partition into ⌈m^{1/3}⌉ buckets: every record in bucket i is smaller
+/// than every record in bucket i+1. Returns (buckets, cost, stats).
+pub fn lemma31_partition(input: &[Record], omega: u64) -> (Vec<Vec<Record>>, Cost, PartitionStats) {
+    let m = input.len();
+    if m <= 8 {
+        let c = MemCounter::new();
+        let (sorted, _) = tree_sort_with_counter(input, &c);
+        let cost = Cost::strand(c.reads(), c.writes(), omega);
+        let stats = PartitionStats {
+            buckets: 1,
+            max_bucket: m,
+            bound: m,
+        };
+        return (vec![sorted], cost, stats);
+    }
+    let g = (m as f64).cbrt().ceil() as usize; // group size ~ m^{1/3}
+    let lg = (m as f64).log2().ceil().max(1.0) as usize;
+
+    // 1. Sort each group with the RAM sort (parallel across groups; each
+    //    group's depth is its sequential cost).
+    let mut groups: Vec<Vec<Record>> = Vec::with_capacity(m.div_ceil(g));
+    let mut group_costs: Vec<Cost> = Vec::new();
+    for chunk in input.chunks(g) {
+        let c = MemCounter::new();
+        let (sorted, _) = tree_sort_with_counter(chunk, &c);
+        group_costs.push(Cost::strand(c.reads(), c.writes(), omega));
+        groups.push(sorted);
+    }
+    let mut cost = Cost::par_all(group_costs);
+
+    // 2. Sample every ⌈log m⌉-th record of each sorted group.
+    let mut sample: Vec<Record> = Vec::new();
+    let mut sample_reads = 0u64;
+    for grp in &groups {
+        let mut i = lg - 1;
+        while i < grp.len() {
+            sample.push(grp[i]);
+            sample_reads += 1;
+            i += lg;
+        }
+    }
+    cost = cost.then(Cost::par_all(
+        (0..sample.len()).map(|_| Cost::strand(1, 1, omega)),
+    ));
+    let _ = sample_reads;
+
+    // 3. Sort the sample (Cole substitute) and pick g−1 splitters.
+    let (sorted_sample, sample_cost) = pram_merge_sort(&sample, omega);
+    cost = cost.then(sample_cost);
+    let want = g.saturating_sub(1);
+    let mut splitters: Vec<Record> = Vec::with_capacity(want);
+    if !sorted_sample.is_empty() {
+        for t in 1..=want {
+            let idx = t * sorted_sample.len() / (want + 1);
+            splitters.push(sorted_sample[idx.min(sorted_sample.len() - 1)]);
+        }
+        splitters.dedup();
+    }
+
+    // 4. Bucket number per record (parallel binary searches)...
+    let keys: Vec<u32> = input
+        .iter()
+        .map(|r| splitters.partition_point(|s| s < r) as u32)
+        .collect();
+    let search_reads = (splitters.len().max(2)).ilog2() as u64 + 1;
+    cost = cost.then(Cost::par_all(
+        (0..m).map(|_| Cost::strand(search_reads + 1, 1, omega)),
+    ));
+
+    // 5. ... then radix-partition by bucket number (stable).
+    let (placed, radix_cost) = pram_radix_sort_by(&keys, input, omega);
+    cost = cost.then(radix_cost);
+
+    // Slice the placed array into buckets.
+    let num_buckets = splitters.len() + 1;
+    let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); num_buckets];
+    let mut sorted_keys = keys;
+    sorted_keys.sort_unstable();
+    let mut idx = 0usize;
+    for (b, bucket) in buckets.iter_mut().enumerate() {
+        let count = sorted_keys[idx..]
+            .iter()
+            .take_while(|&&k| k == b as u32)
+            .count();
+        bucket.extend_from_slice(&placed[idx..idx + count]);
+        idx += count;
+    }
+    debug_assert_eq!(idx, m);
+
+    let max_bucket = buckets.iter().map(Vec::len).max().unwrap_or(0);
+    let bound = ((m as f64).powf(2.0 / 3.0) * (m as f64).log2()).ceil() as usize;
+    let stats = PartitionStats {
+        buckets: num_buckets,
+        max_bucket,
+        bound,
+    };
+    (buckets, cost, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_model::workload::Workload;
+
+    #[test]
+    fn buckets_are_ordered_and_conserve_records() {
+        for wl in [Workload::UniformRandom, Workload::Reversed, Workload::Sorted] {
+            let input = wl.generate(2000, 7);
+            let (buckets, _, stats) = lemma31_partition(&input, 4);
+            assert_eq!(stats.buckets, buckets.len());
+            let flat: Vec<Record> = buckets.iter().flatten().copied().collect();
+            assert_eq!(flat.len(), input.len());
+            // Cross-bucket ordering.
+            for w in buckets.windows(2) {
+                if let (Some(a), Some(b)) = (w[0].iter().max(), w[1].iter().min()) {
+                    assert!(a < b, "{}: bucket overlap", wl.name());
+                }
+            }
+            let mut all = flat;
+            all.sort();
+            let mut exp = input.clone();
+            exp.sort();
+            assert_eq!(all, exp);
+        }
+    }
+
+    #[test]
+    fn max_bucket_respects_lemma_bound() {
+        for seed in 0..3u64 {
+            let input = Workload::UniformRandom.generate(8000, seed);
+            let (_, _, stats) = lemma31_partition(&input, 4);
+            assert!(
+                stats.max_bucket <= stats.bound,
+                "max bucket {} exceeds m^(2/3) log m = {}",
+                stats.max_bucket,
+                stats.bound
+            );
+        }
+    }
+
+    #[test]
+    fn writes_linear_reads_superlinear() {
+        let omega = 8;
+        let m = 1 << 13;
+        let input = Workload::UniformRandom.generate(m, 2);
+        let (_, cost, _) = lemma31_partition(&input, omega);
+        let n = m as f64;
+        assert!(
+            (cost.writes as f64) < 16.0 * n,
+            "writes {} should be O(m)",
+            cost.writes
+        );
+        assert!(
+            (cost.reads as f64) < 16.0 * n * n.log2(),
+            "reads {} should be O(m log m)",
+            cost.reads
+        );
+    }
+
+    #[test]
+    fn tiny_inputs_collapse_to_single_bucket() {
+        let input = Workload::Reversed.generate(5, 1);
+        let (buckets, _, stats) = lemma31_partition(&input, 2);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(stats.max_bucket, 5);
+        assert!(buckets[0].windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,107 @@
+//! Parallel prefix sums with measured work-depth cost.
+//!
+//! The contraction-based scan: pair up adjacent elements, recurse on the
+//! halved array, then expand. O(n) reads and writes, O(ω log n) depth —
+//! the workhorse behind the packing step of Algorithm 1 and the bucket
+//! placement of the cache-oblivious sort.
+
+use wd_sim::Cost;
+
+/// Exclusive prefix sums: returns (`out`, cost) where `out.len() == xs.len()
+/// + 1`, `out\[i\]` is the sum of `xs[..i]`, and `out\[n\]` the grand total.
+pub fn prefix_sums(xs: &[u64], omega: u64) -> (Vec<u64>, Cost) {
+    let n = xs.len();
+    if n == 0 {
+        return (vec![0], Cost::ZERO);
+    }
+    if n == 1 {
+        // One read, one write of the total.
+        return (vec![0, xs[0]], Cost::strand(1, 1, omega));
+    }
+    // Contract: y[i] = xs[2i] + xs[2i+1] (parallel pair additions).
+    let half = n / 2;
+    let mut contracted: Vec<u64> = Vec::with_capacity(half + 1);
+    for i in 0..half {
+        contracted.push(xs[2 * i] + xs[2 * i + 1]);
+    }
+    if n % 2 == 1 {
+        contracted.push(xs[n - 1]);
+    }
+    let contract_cost = Cost::par_all((0..contracted.len()).map(|_| Cost::strand(2, 1, omega)));
+
+    let (inner, rec_cost) = prefix_sums(&contracted, omega);
+
+    // Expand: out[2i] = inner[i]; out[2i+1] = inner[i] + xs[2i].
+    let mut out: Vec<u64> = vec![0; n + 1];
+    for i in 0..half {
+        out[2 * i] = inner[i];
+        out[2 * i + 1] = inner[i] + xs[2 * i];
+    }
+    if n % 2 == 1 {
+        out[n - 1] = inner[half];
+    }
+    out[n] = *inner.last().expect("non-empty");
+    let expand_cost = Cost::par_all((0..n + 1).map(|_| Cost::strand(2, 1, omega)));
+
+    (out, contract_cost.then(rec_cost).then(expand_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(xs: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(xs.len() + 1);
+        let mut acc = 0u64;
+        out.push(0);
+        for &x in xs {
+            acc += x;
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_sizes() {
+        for n in [0usize, 1, 2, 3, 7, 8, 100, 1023] {
+            let xs: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 11).collect();
+            let (got, _) = prefix_sums(&xs, 4);
+            assert_eq!(got, reference(&xs), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cost_is_linear_work_logarithmic_depth() {
+        let xs: Vec<u64> = vec![1; 1 << 12];
+        let omega = 8;
+        let (_, cost) = prefix_sums(&xs, omega);
+        let n = xs.len() as u64;
+        assert!(cost.reads <= 8 * n, "reads {} should be O(n)", cost.reads);
+        assert!(cost.writes <= 4 * n, "writes {} should be O(n)", cost.writes);
+        // Depth ~ levels * (strand of ~3 ops with one omega-write each).
+        let levels = 13u64;
+        assert!(
+            cost.depth <= 4 * levels * (2 + omega),
+            "depth {} should be O(omega log n)",
+            cost.depth
+        );
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let omega = 4;
+        let d = |n: usize| prefix_sums(&vec![1u64; n], omega).1.depth;
+        let d1 = d(1 << 8);
+        let d2 = d(1 << 16);
+        // Doubling the exponent should roughly double the depth.
+        assert!(d2 < 3 * d1, "depth {d1} -> {d2} should be logarithmic");
+    }
+
+    #[test]
+    fn all_zeros_and_empty() {
+        let (out, _) = prefix_sums(&[], 2);
+        assert_eq!(out, vec![0]);
+        let (out, _) = prefix_sums(&[0, 0, 0], 2);
+        assert_eq!(out, vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! A work-depth-accounted parallel radix sort on small integer keys.
+//!
+//! Used by Lemma 3.1 and step 6 of Algorithm 1 to place records into their
+//! buckets by bucket number: stable counting-sort passes over 8-bit digits,
+//! parallel across groups of elements, with a prefix sum across the
+//! (group × digit) count matrix between phases. Linear reads/writes; depth
+//! O(ω · (group size + #digit values)) per pass.
+
+use super::prefix::prefix_sums;
+use asym_model::Record;
+use wd_sim::Cost;
+
+const DIGIT_BITS: u32 = 8;
+const RADIX: usize = 1 << DIGIT_BITS;
+const GROUP: usize = 512;
+
+/// Stably sort `items` by the integer `keys` (parallel counting sort per
+/// digit). Returns the permuted items with the measured cost.
+pub fn pram_radix_sort_by(keys: &[u32], items: &[Record], omega: u64) -> (Vec<Record>, Cost) {
+    assert_eq!(keys.len(), items.len());
+    let n = keys.len();
+    if n <= 1 {
+        return (items.to_vec(), Cost::ZERO);
+    }
+    let max_key = *keys.iter().max().expect("non-empty");
+    let passes = ((32 - max_key.leading_zeros()).div_ceil(DIGIT_BITS)).max(1);
+
+    let mut cur_keys: Vec<u32> = keys.to_vec();
+    let mut cur_items: Vec<Record> = items.to_vec();
+    let mut total = Cost::ZERO;
+
+    for pass in 0..passes {
+        let shift = pass * DIGIT_BITS;
+        let groups = n.div_ceil(GROUP);
+        // Phase 1: per-group digit histograms (parallel across groups).
+        let mut counts = vec![0u64; groups * RADIX];
+        let mut hist_costs = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let lo = g * GROUP;
+            let hi = ((g + 1) * GROUP).min(n);
+            for &key in &cur_keys[lo..hi] {
+                let d = ((key >> shift) as usize) & (RADIX - 1);
+                counts[g * RADIX + d] += 1;
+            }
+            // Reads: the group's keys; writes: histogram increments.
+            hist_costs.push(Cost::strand((hi - lo) as u64, (hi - lo) as u64, omega));
+        }
+        total = total.then(Cost::par_all(hist_costs));
+
+        // Phase 2: prefix sums in digit-major order give stable offsets.
+        let mut digit_major = vec![0u64; groups * RADIX];
+        for d in 0..RADIX {
+            for g in 0..groups {
+                digit_major[d * groups + g] = counts[g * RADIX + d];
+            }
+        }
+        let (offsets, scan_cost) = prefix_sums(&digit_major, omega);
+        total = total.then(scan_cost);
+
+        // Phase 3: parallel scatter by group, consuming the offsets.
+        let mut next_keys = vec![0u32; n];
+        let mut next_items = vec![Record::default(); n];
+        let mut cursor = vec![0u64; groups * RADIX];
+        for d in 0..RADIX {
+            for g in 0..groups {
+                cursor[g * RADIX + d] = offsets[d * groups + g];
+            }
+        }
+        let mut scatter_costs = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let lo = g * GROUP;
+            let hi = ((g + 1) * GROUP).min(n);
+            for i in lo..hi {
+                let d = ((cur_keys[i] >> shift) as usize) & (RADIX - 1);
+                let pos = cursor[g * RADIX + d] as usize;
+                cursor[g * RADIX + d] += 1;
+                next_keys[pos] = cur_keys[i];
+                next_items[pos] = cur_items[i];
+            }
+            // Each element: read key+item, write key+item+cursor bump.
+            scatter_costs.push(Cost::strand(
+                2 * (hi - lo) as u64,
+                2 * (hi - lo) as u64,
+                omega,
+            ));
+        }
+        total = total.then(Cost::par_all(scatter_costs));
+        cur_keys = next_keys;
+        cur_items = next_items;
+    }
+    (cur_items, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_stably_by_key() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 5000;
+        let keys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+        let items: Vec<Record> = (0..n).map(|i| Record::new(keys[i] as u64, i as u64)).collect();
+        let (out, _) = pram_radix_sort_by(&keys, &items, 4);
+        // Sorted by key, and stable (payload ascending within equal keys).
+        assert!(out
+            .windows(2)
+            .all(|w| w[0].key < w[1].key || (w[0].key == w[1].key && w[0].payload < w[1].payload)));
+        assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn multi_digit_keys() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 3000;
+        let keys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let items: Vec<Record> = keys.iter().map(|&k| Record::keyed(k as u64)).collect();
+        let (out, _) = pram_radix_sort_by(&keys, &items, 4);
+        assert!(out.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn cost_is_linear_in_n() {
+        let omega = 8;
+        let cost_of = |n: usize| {
+            let keys: Vec<u32> = (0..n as u32).map(|i| i % 101).collect();
+            let items: Vec<Record> = keys.iter().map(|&k| Record::keyed(k as u64)).collect();
+            pram_radix_sort_by(&keys, &items, omega).1
+        };
+        let c1 = cost_of(1 << 11);
+        let c2 = cost_of(1 << 13);
+        let ratio = c2.reads as f64 / c1.reads as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "4x data should mean ~4x reads, got {ratio:.2}"
+        );
+        // Depth must be sublinear in n.
+        assert!(c2.depth < c2.reads / 2, "depth {} too deep", c2.depth);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let (out, c) = pram_radix_sort_by(&[], &[], 2);
+        assert!(out.is_empty());
+        assert_eq!(c, Cost::ZERO);
+        let (out, _) = pram_radix_sort_by(&[7], &[Record::keyed(7)], 2);
+        assert_eq!(out, vec![Record::keyed(7)]);
+    }
+
+    #[test]
+    fn zero_keys_all_equal() {
+        let items: Vec<Record> = (0..100).map(|i| Record::new(0, i)).collect();
+        let keys = vec![0u32; 100];
+        let (out, _) = pram_radix_sort_by(&keys, &items, 2);
+        assert_eq!(out, items, "stability on all-equal keys");
+    }
+}

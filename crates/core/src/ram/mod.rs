@@ -1,0 +1,18 @@
+//! §3 — sorting and priority queues on the Asymmetric RAM.
+//!
+//! The observation driving this section of the paper: inserting n records
+//! into a balanced search tree costs O(n log n) reads but only O(n) writes,
+//! because red-black trees perform O(1) *amortized* structural writes per
+//! insertion. Reading the records off in order is another O(n) reads plus n
+//! output writes. Total: O(n log n) reads, O(n) writes, asymmetric cost
+//! O(n(ω + log n)) — versus O(ω n log n) for a conventional in-place sort.
+
+pub mod dict;
+pub mod pq;
+pub mod rbtree;
+pub mod tree_sort;
+
+pub use dict::RamDictionary;
+pub use pq::RamPriorityQueue;
+pub use rbtree::{RbStats, RbTree};
+pub use tree_sort::{tree_sort, tree_sort_with_counter};

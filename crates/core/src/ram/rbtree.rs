@@ -1,0 +1,864 @@
+//! An instrumented red-black tree with O(1) amortized structural writes.
+//!
+//! Every node-field access is charged on a [`MemCounter`]: reads for key
+//! comparisons and pointer follows, writes for link updates, recolorings and
+//! rotations. The descent stack is *not* charged — the paper's RAM model
+//! explicitly grants O(log M) free bookkeeping locations for a stack.
+//!
+//! Red-black trees perform O(1) amortized recolorings and rotations per
+//! update (the property §3 of the paper relies on, citing Ottmann & Wood),
+//! so n inserts cost O(n log n) reads but only O(n) writes — the tallies
+//! [`RbStats`] and the attached counter make that measurable.
+
+use asym_model::{MemCounter, Record};
+
+const NIL: u32 = u32::MAX;
+
+/// Structural-change tallies (separate from the read/write counter so
+/// experiments can report rotations/recolorings per insert).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RbStats {
+    /// Single rotations performed.
+    pub rotations: u64,
+    /// Node recolorings performed.
+    pub recolorings: u64,
+    /// Successful insertions.
+    pub inserts: u64,
+    /// Successful delete-min operations.
+    pub deletions: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    key: Record,
+    left: u32,
+    right: u32,
+    red: bool,
+}
+
+/// An arena-allocated red-black tree of [`Record`]s with counted accesses.
+pub struct RbTree {
+    nodes: Vec<Node>,
+    root: u32,
+    len: usize,
+    counter: MemCounter,
+    stats: RbStats,
+    /// Free list of arena slots from deletions.
+    free: Vec<u32>,
+}
+
+impl RbTree {
+    /// An empty tree charging `counter`.
+    pub fn new(counter: MemCounter) -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: NIL,
+            len: 0,
+            counter,
+            stats: RbStats::default(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Structural-change tallies.
+    pub fn stats(&self) -> RbStats {
+        self.stats
+    }
+
+    /// The counter this tree charges.
+    pub fn counter(&self) -> &MemCounter {
+        &self.counter
+    }
+
+    // ---- charged field accessors -------------------------------------------
+
+    #[inline]
+    fn key(&self, n: u32) -> Record {
+        self.counter.read();
+        self.nodes[n as usize].key
+    }
+
+    #[inline]
+    fn left(&self, n: u32) -> u32 {
+        self.counter.read();
+        self.nodes[n as usize].left
+    }
+
+    #[inline]
+    fn right(&self, n: u32) -> u32 {
+        self.counter.read();
+        self.nodes[n as usize].right
+    }
+
+    #[inline]
+    fn is_red(&self, n: u32) -> bool {
+        if n == NIL {
+            return false; // NIL is black by definition; no memory touched.
+        }
+        self.counter.read();
+        self.nodes[n as usize].red
+    }
+
+    #[inline]
+    fn set_left(&mut self, n: u32, v: u32) {
+        self.counter.write();
+        self.nodes[n as usize].left = v;
+    }
+
+    #[inline]
+    fn set_right(&mut self, n: u32, v: u32) {
+        self.counter.write();
+        self.nodes[n as usize].right = v;
+    }
+
+    #[inline]
+    fn set_red(&mut self, n: u32, red: bool) {
+        if self.nodes[n as usize].red != red {
+            self.counter.write();
+            self.stats.recolorings += 1;
+            self.nodes[n as usize].red = red;
+        }
+    }
+
+    fn alloc(&mut self, key: Record) -> u32 {
+        // Creating a node writes its key and initializes links/color: charge
+        // a constant 2 writes (key + packed header), matching the paper's
+        // "O(1) writes per new node".
+        self.counter.add_writes(2);
+        let node = Node {
+            key,
+            left: NIL,
+            right: NIL,
+            red: true,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    // ---- insertion -----------------------------------------------------------
+
+    /// Insert a record; returns false (and changes nothing) on duplicates.
+    pub fn insert(&mut self, key: Record) -> bool {
+        if self.root == NIL {
+            let n = self.alloc(key);
+            self.nodes[n as usize].red = false;
+            self.root = n;
+            self.len = 1;
+            self.stats.inserts += 1;
+            return true;
+        }
+        // Descend, recording the path (free bookkeeping stack).
+        let mut path: Vec<u32> = Vec::with_capacity(48);
+        let mut cur = self.root;
+        loop {
+            let k = self.key(cur);
+            path.push(cur);
+            if key == k {
+                return false;
+            }
+            let next = if key < k { self.left(cur) } else { self.right(cur) };
+            if next == NIL {
+                break;
+            }
+            cur = next;
+        }
+        let leaf = self.alloc(key);
+        let parent = *path.last().unwrap();
+        if key < self.nodes[parent as usize].key {
+            self.set_left(parent, leaf);
+        } else {
+            self.set_right(parent, leaf);
+        }
+        self.len += 1;
+        self.stats.inserts += 1;
+        path.push(leaf);
+        self.insert_fixup(path);
+        true
+    }
+
+    /// Bottom-up red-red fixup along the descent path.
+    fn insert_fixup(&mut self, mut path: Vec<u32>) {
+        // path = [root, ..., parent, node]; node is red.
+        while path.len() >= 3 {
+            let node = path[path.len() - 1];
+            let parent = path[path.len() - 2];
+            let grand = path[path.len() - 3];
+            if !self.is_red(parent) {
+                break;
+            }
+            let parent_is_left = self.left(grand) == parent;
+            let uncle = if parent_is_left {
+                self.right(grand)
+            } else {
+                self.left(grand)
+            };
+            if self.is_red(uncle) {
+                // Case 1: recolor and continue two levels up.
+                self.set_red(parent, false);
+                self.set_red(uncle, false);
+                self.set_red(grand, true);
+                path.pop();
+                path.pop();
+                continue;
+            }
+            // Cases 2/3: one or two rotations around the grandparent.
+            let great = if path.len() >= 4 {
+                Some(path[path.len() - 4])
+            } else {
+                None
+            };
+            let node_is_left = self.left(parent) == node;
+            let new_sub = if parent_is_left {
+                if !node_is_left {
+                    // Left-right: rotate parent left first.
+                    self.rotate_left_child(grand, parent);
+                }
+                self.rotate_right(grand, great)
+            } else {
+                if node_is_left {
+                    self.rotate_right_child(grand, parent);
+                }
+                self.rotate_left(grand, great)
+            };
+            self.set_red(new_sub, false);
+            self.set_red(grand, true);
+            break;
+        }
+        let root = self.root;
+        self.set_red(root, false);
+    }
+
+    // Rotations. `great` is the parent of `pivot` (None if pivot is root);
+    // each rotation is three link writes.
+
+    fn replace_child(&mut self, parent: Option<u32>, old: u32, new: u32) {
+        match parent {
+            None => {
+                debug_assert_eq!(self.root, old);
+                self.root = new; // root pointer is a bookkeeping word
+                self.counter.write();
+            }
+            Some(p) => {
+                if self.left(p) == old {
+                    self.set_left(p, new);
+                } else {
+                    self.set_right(p, new);
+                }
+            }
+        }
+    }
+
+    /// Rotate left around `pivot`; returns the subtree's new root.
+    fn rotate_left(&mut self, pivot: u32, great: Option<u32>) -> u32 {
+        self.stats.rotations += 1;
+        let r = self.right(pivot);
+        let rl = self.left(r);
+        self.set_right(pivot, rl);
+        self.set_left(r, pivot);
+        self.replace_child(great, pivot, r);
+        r
+    }
+
+    /// Rotate right around `pivot`; returns the subtree's new root.
+    fn rotate_right(&mut self, pivot: u32, great: Option<u32>) -> u32 {
+        self.stats.rotations += 1;
+        let l = self.left(pivot);
+        let lr = self.right(l);
+        self.set_left(pivot, lr);
+        self.set_right(l, pivot);
+        self.replace_child(great, pivot, l);
+        l
+    }
+
+    /// Rotate the left child of `grand` leftwards (LR case preparation).
+    fn rotate_left_child(&mut self, grand: u32, parent: u32) {
+        self.stats.rotations += 1;
+        let node = self.right(parent);
+        let nl = self.left(node);
+        self.set_right(parent, nl);
+        self.set_left(node, parent);
+        self.set_left(grand, node);
+    }
+
+    /// Rotate the right child of `grand` rightwards (RL case preparation).
+    fn rotate_right_child(&mut self, grand: u32, parent: u32) {
+        self.stats.rotations += 1;
+        let node = self.left(parent);
+        let nr = self.right(node);
+        self.set_left(parent, nr);
+        self.set_right(node, parent);
+        self.set_right(grand, node);
+    }
+
+    // ---- queries ---------------------------------------------------------------
+
+    /// The minimum record, or None if empty (charged descent).
+    pub fn min(&self) -> Option<Record> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut cur = self.root;
+        loop {
+            let l = self.left(cur);
+            if l == NIL {
+                return Some(self.key(cur));
+            }
+            cur = l;
+        }
+    }
+
+    /// Find any record whose key field equals `key`, ignoring the payload
+    /// tie-break (dictionary lookup; callers must store at most one payload
+    /// per key for this to be deterministic).
+    pub fn find_by_key(&self, key: u64) -> Option<Record> {
+        let mut cur = self.root;
+        while cur != NIL {
+            let k = self.key(cur);
+            match key.cmp(&k.key) {
+                std::cmp::Ordering::Equal => return Some(k),
+                std::cmp::Ordering::Less => cur = self.left(cur),
+                std::cmp::Ordering::Greater => cur = self.right(cur),
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present (charged descent).
+    pub fn contains(&self, key: Record) -> bool {
+        let mut cur = self.root;
+        while cur != NIL {
+            let k = self.key(cur);
+            if key == k {
+                return true;
+            }
+            cur = if key < k { self.left(cur) } else { self.right(cur) };
+        }
+        false
+    }
+
+    /// In-order traversal, calling `f` on each record (O(n) reads; the
+    /// traversal stack is free bookkeeping).
+    pub fn in_order(&self, mut f: impl FnMut(Record)) {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.left(cur);
+            }
+            let n = stack.pop().unwrap();
+            f(self.key(n));
+            cur = self.right(n);
+        }
+    }
+
+    // ---- delete-min ------------------------------------------------------------
+
+    /// Remove and return the minimum record.
+    pub fn delete_min(&mut self) -> Option<Record> {
+        if self.root == NIL {
+            return None;
+        }
+        // Descend the left spine, recording the path.
+        let mut path: Vec<u32> = Vec::with_capacity(48);
+        let mut cur = self.root;
+        loop {
+            let l = self.left(cur);
+            if l == NIL {
+                break;
+            }
+            path.push(cur);
+            cur = l;
+        }
+        let min_node = cur;
+        let key = self.key(min_node);
+        let replacement = self.right(min_node); // may be NIL
+        let was_red = self.is_red(min_node);
+        let parent = path.last().copied();
+        self.replace_child(parent, min_node, replacement);
+        self.free.push(min_node);
+        self.len -= 1;
+        self.stats.deletions += 1;
+
+        if was_red {
+            // Red leaf (a red node with a right child would violate RB
+            // invariants if the child existed, so replacement is NIL): done.
+        } else if replacement != NIL && self.is_red(replacement) {
+            self.set_red(replacement, false);
+        } else {
+            self.delete_fixup(path, true);
+        }
+        Some(key)
+    }
+
+    // ---- general deletion ---------------------------------------------------
+
+    /// Delete an arbitrary record; returns false if absent. Like insertion,
+    /// deletion costs O(log n) reads but only O(1) amortized writes (the §3
+    /// dictionary claim).
+    pub fn delete(&mut self, key: Record) -> bool {
+        let mut path: Vec<u32> = Vec::with_capacity(48);
+        let mut cur = self.root;
+        while cur != NIL {
+            let k = self.key(cur);
+            if key == k {
+                break;
+            }
+            path.push(cur);
+            cur = if key < k { self.left(cur) } else { self.right(cur) };
+        }
+        if cur == NIL {
+            return false;
+        }
+        let mut target = cur;
+        if self.left(target) != NIL && self.right(target) != NIL {
+            // Interior node: splice out the successor instead, after moving
+            // its key up (one key write).
+            path.push(target);
+            let mut s = self.right(target);
+            loop {
+                let l = self.left(s);
+                if l == NIL {
+                    break;
+                }
+                path.push(s);
+                s = l;
+            }
+            let skey = self.key(s);
+            self.counter.write();
+            self.nodes[target as usize].key = skey;
+            target = s;
+        }
+        // `target` now has at most one child.
+        let lchild = self.left(target);
+        let replacement = if lchild != NIL {
+            lchild
+        } else {
+            self.right(target)
+        };
+        let was_red = self.is_red(target);
+        let parent = path.last().copied();
+        let is_left = parent.is_none_or(|p| self.left(p) == target);
+        self.replace_child(parent, target, replacement);
+        self.free.push(target);
+        self.len -= 1;
+        self.stats.deletions += 1;
+        if was_red {
+            // Red node with <= 1 child is a leaf; nothing to fix.
+        } else if replacement != NIL && self.is_red(replacement) {
+            self.set_red(replacement, false);
+        } else {
+            self.delete_fixup(path, is_left);
+        }
+        true
+    }
+
+    /// Resolve a double-black child of `path.last()`; `is_left` says which
+    /// side the double-black hangs on. Standard red-black deletion cases,
+    /// with mirrored rotations for the right side.
+    fn delete_fixup(&mut self, mut path: Vec<u32>, mut is_left: bool) {
+        loop {
+            let parent = match path.last().copied() {
+                None => break, // double-black reached the root: done.
+                Some(p) => p,
+            };
+            let mut grand = if path.len() >= 2 {
+                Some(path[path.len() - 2])
+            } else {
+                None
+            };
+            let mut w = if is_left {
+                self.right(parent)
+            } else {
+                self.left(parent)
+            };
+            debug_assert_ne!(w, NIL, "black-height imbalance implies a sibling");
+            if self.is_red(w) {
+                // Case 1: red sibling -> rotate to get a black sibling.
+                self.set_red(w, false);
+                self.set_red(parent, true);
+                let new_sub = if is_left {
+                    self.rotate_left(parent, grand)
+                } else {
+                    self.rotate_right(parent, grand)
+                };
+                // parent moved below new_sub; fix the path and the
+                // grandparent used by any rotation later this iteration.
+                path.pop();
+                path.push(new_sub);
+                path.push(parent);
+                grand = Some(new_sub);
+                w = if is_left {
+                    self.right(parent)
+                } else {
+                    self.left(parent)
+                };
+            }
+            let wl = self.left(w);
+            let wr = self.right(w);
+            if !self.is_red(wl) && !self.is_red(wr) {
+                // Case 2: recolor sibling, push double-black up.
+                self.set_red(w, true);
+                if self.is_red(parent) {
+                    self.set_red(parent, false);
+                    break;
+                }
+                path.pop();
+                if let Some(&g) = path.last() {
+                    is_left = self.left(g) == parent;
+                }
+                continue;
+            }
+            // Inner/outer children relative to the double-black side.
+            let (inner, outer) = if is_left { (wl, wr) } else { (wr, wl) };
+            let w = if !self.is_red(outer) {
+                // Case 3: inner child red -> rotate the sibling toward the
+                // outside, making the inner child the new sibling.
+                self.set_red(inner, false);
+                self.set_red(w, true);
+                if is_left {
+                    self.rotate_right_child_of(parent, w)
+                } else {
+                    self.rotate_left_child_of(parent, w)
+                }
+            } else {
+                w
+            };
+            // Case 4: outer child red -> rotate parent toward the
+            // double-black side; done.
+            let parent_red = self.is_red(parent);
+            self.set_red(w, parent_red);
+            self.set_red(parent, false);
+            if is_left {
+                let wr = self.right(w);
+                self.set_red(wr, false);
+                self.rotate_left(parent, grand);
+            } else {
+                let wl = self.left(w);
+                self.set_red(wl, false);
+                self.rotate_right(parent, grand);
+            }
+            break;
+        }
+    }
+
+    /// Rotate `w` (the right child of `parent`) to the right; returns the new
+    /// right child of `parent`.
+    fn rotate_right_child_of(&mut self, parent: u32, w: u32) -> u32 {
+        self.stats.rotations += 1;
+        let l = self.left(w);
+        let lr = self.right(l);
+        self.set_left(w, lr);
+        self.set_right(l, w);
+        self.set_right(parent, l);
+        l
+    }
+
+    /// Rotate `w` (the left child of `parent`) to the left; returns the new
+    /// left child of `parent`.
+    fn rotate_left_child_of(&mut self, parent: u32, w: u32) -> u32 {
+        self.stats.rotations += 1;
+        let r = self.right(w);
+        let rl = self.left(r);
+        self.set_right(w, rl);
+        self.set_left(r, w);
+        self.set_left(parent, r);
+        r
+    }
+
+    // ---- uncharged invariant checking (tests) -----------------------------------
+
+    /// Verify all red-black invariants; panics with a description on failure.
+    /// Uncharged: this is a test oracle, not part of any algorithm.
+    pub fn validate(&self) {
+        if self.root == NIL {
+            return;
+        }
+        assert!(!self.nodes[self.root as usize].red, "root must be black");
+        self.validate_rec(self.root, None, None);
+    }
+
+    fn validate_rec(&self, n: u32, lo: Option<Record>, hi: Option<Record>) -> usize {
+        if n == NIL {
+            return 1; // NIL contributes one black.
+        }
+        let node = &self.nodes[n as usize];
+        if let Some(lo) = lo {
+            assert!(node.key > lo, "BST order violated");
+        }
+        if let Some(hi) = hi {
+            assert!(node.key < hi, "BST order violated");
+        }
+        if node.red {
+            let lred = node.left != NIL && self.nodes[node.left as usize].red;
+            let rred = node.right != NIL && self.nodes[node.right as usize].red;
+            assert!(!lred && !rred, "red node with red child");
+        }
+        let bl = self.validate_rec(node.left, lo, Some(node.key));
+        let br = self.validate_rec(node.right, Some(node.key), hi);
+        assert_eq!(bl, br, "black-height mismatch");
+        bl + usize::from(!node.red)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn rec(k: u64) -> Record {
+        Record::keyed(k)
+    }
+
+    #[test]
+    fn insert_and_inorder_sorts() {
+        let mut t = RbTree::new(MemCounter::new());
+        for k in [5u64, 3, 9, 1, 7, 2, 8, 0, 6, 4] {
+            assert!(t.insert(rec(k)));
+            t.validate();
+        }
+        assert_eq!(t.len(), 10);
+        let mut out = Vec::new();
+        t.in_order(|r| out.push(r.key));
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = RbTree::new(MemCounter::new());
+        assert!(t.insert(rec(1)));
+        assert!(!t.insert(rec(1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn contains_and_min() {
+        let mut t = RbTree::new(MemCounter::new());
+        assert_eq!(t.min(), None);
+        for k in [4u64, 2, 6] {
+            t.insert(rec(k));
+        }
+        assert!(t.contains(rec(2)));
+        assert!(!t.contains(rec(3)));
+        assert_eq!(t.min(), Some(rec(2)));
+    }
+
+    #[test]
+    fn random_inserts_keep_invariants() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut keys: Vec<u64> = (0..2000).collect();
+        keys.shuffle(&mut rng);
+        let mut t = RbTree::new(MemCounter::new());
+        for &k in &keys {
+            t.insert(rec(k));
+        }
+        t.validate();
+        let mut out = Vec::new();
+        t.in_order(|r| out.push(r.key));
+        assert_eq!(out.len(), 2000);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sorted_and_reversed_inserts_keep_invariants() {
+        for rev in [false, true] {
+            let mut t = RbTree::new(MemCounter::new());
+            let keys: Vec<u64> = if rev {
+                (0..500).rev().collect()
+            } else {
+                (0..500).collect()
+            };
+            for k in keys {
+                t.insert(rec(k));
+                t.validate();
+            }
+            assert_eq!(t.min(), Some(rec(0)));
+        }
+    }
+
+    #[test]
+    fn delete_min_returns_ascending_and_keeps_invariants() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut keys: Vec<u64> = (0..500).collect();
+        keys.shuffle(&mut rng);
+        let mut t = RbTree::new(MemCounter::new());
+        for &k in &keys {
+            t.insert(rec(k));
+        }
+        for expect in 0..500u64 {
+            let got = t.delete_min().unwrap();
+            assert_eq!(got, rec(expect));
+            t.validate();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.delete_min(), None);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_min() {
+        let mut t = RbTree::new(MemCounter::new());
+        let mut reference = std::collections::BTreeSet::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use rand::Rng;
+        for _ in 0..3000 {
+            if rng.gen_bool(0.6) || reference.is_empty() {
+                let k = rng.gen_range(0..10_000u64);
+                assert_eq!(t.insert(rec(k)), reference.insert(rec(k)));
+            } else {
+                assert_eq!(t.delete_min(), reference.pop_first());
+            }
+        }
+        t.validate();
+        assert_eq!(t.len(), reference.len());
+    }
+
+    #[test]
+    fn writes_grow_linearly_with_n() {
+        // The core §3 claim: inserts do O(1) amortized writes. Verify the
+        // writes-per-insert ratio stays flat as n grows 16x.
+        let ratio = |n: u64| {
+            let c = MemCounter::new();
+            let mut t = RbTree::new(c.clone());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            let mut keys: Vec<u64> = (0..n).collect();
+            keys.shuffle(&mut rng);
+            for k in keys {
+                t.insert(rec(k));
+            }
+            c.writes() as f64 / n as f64
+        };
+        let small = ratio(1 << 10);
+        let large = ratio(1 << 14);
+        assert!(
+            large < small * 1.5,
+            "writes/insert should be ~constant: {small:.2} -> {large:.2}"
+        );
+        assert!(large < 12.0, "absolute writes/insert too high: {large:.2}");
+    }
+
+    #[test]
+    fn reads_grow_superlinearly_with_n() {
+        let reads = |n: u64| {
+            let c = MemCounter::new();
+            let mut t = RbTree::new(c.clone());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            let mut keys: Vec<u64> = (0..n).collect();
+            keys.shuffle(&mut rng);
+            for k in keys {
+                t.insert(rec(k));
+            }
+            c.reads() as f64 / n as f64
+        };
+        let r1 = reads(1 << 10);
+        let r2 = reads(1 << 14);
+        assert!(r2 > r1 + 2.0, "reads/insert should grow with log n");
+    }
+
+    #[test]
+    fn general_delete_matches_btreeset() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut t = RbTree::new(MemCounter::new());
+        let mut reference = std::collections::BTreeSet::new();
+        for round in 0..5000 {
+            let k = rng.gen_range(0..800u64);
+            if rng.gen_bool(0.55) {
+                assert_eq!(t.insert(rec(k)), reference.insert(rec(k)));
+            } else {
+                assert_eq!(t.delete(rec(k)), reference.remove(&rec(k)), "round {round}");
+            }
+            if round % 64 == 0 {
+                t.validate();
+            }
+            assert_eq!(t.len(), reference.len());
+        }
+        t.validate();
+        let mut out = Vec::new();
+        t.in_order(|r| out.push(r));
+        assert_eq!(out, reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delete_absent_key_is_noop() {
+        let mut t = RbTree::new(MemCounter::new());
+        assert!(!t.delete(rec(5)));
+        t.insert(rec(1));
+        assert!(!t.delete(rec(2)));
+        assert_eq!(t.len(), 1);
+        assert!(t.delete(rec(1)));
+        assert!(t.is_empty());
+        assert!(!t.delete(rec(1)));
+    }
+
+    #[test]
+    fn delete_interior_nodes_with_two_children() {
+        let mut t = RbTree::new(MemCounter::new());
+        for k in 0..64u64 {
+            t.insert(rec(k));
+        }
+        // Delete in an order that repeatedly hits two-child interior nodes.
+        for k in [31u64, 15, 47, 7, 23, 39, 55, 32, 16, 48] {
+            assert!(t.delete(rec(k)));
+            t.validate();
+            assert!(!t.contains(rec(k)));
+        }
+        assert_eq!(t.len(), 54);
+    }
+
+    #[test]
+    fn deletes_have_amortized_constant_writes() {
+        use rand::seq::SliceRandom;
+        let n = 1u64 << 13;
+        let c = MemCounter::new();
+        let mut t = RbTree::new(c.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut keys: Vec<u64> = (0..n).collect();
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            t.insert(rec(k));
+        }
+        let before = c.writes();
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            assert!(t.delete(rec(k)));
+        }
+        let per_delete = (c.writes() - before) as f64 / n as f64;
+        assert!(
+            per_delete < 8.0,
+            "deletes should write O(1) amortized, got {per_delete:.2}"
+        );
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut t = RbTree::new(MemCounter::new());
+        for k in 0..100u64 {
+            t.insert(rec(k));
+        }
+        for _ in 0..50 {
+            t.delete_min();
+        }
+        let before = t.nodes.len();
+        for k in 200..250u64 {
+            t.insert(rec(k));
+        }
+        assert_eq!(t.nodes.len(), before, "freed slots should be reused");
+        t.validate();
+    }
+}

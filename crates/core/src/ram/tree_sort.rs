@@ -1,0 +1,164 @@
+//! §3 — sorting on the Asymmetric RAM in O(n log n) reads and O(n) writes.
+
+use super::rbtree::{RbStats, RbTree};
+use asym_model::{MemCounter, Record};
+
+/// Sort by inserting every record into a red-black tree and reading them off
+/// in order. Charges all accesses to `counter`; appending each record to the
+/// output array is one write.
+///
+/// Cost (measured, matching §3): O(n log n) reads, O(n) writes, total
+/// asymmetric cost O(n(ω + log n)).
+pub fn tree_sort_with_counter(input: &[Record], counter: &MemCounter) -> (Vec<Record>, RbStats) {
+    let mut tree = RbTree::new(counter.clone());
+    for &r in input {
+        counter.read(); // reading the input record
+        let inserted = tree.insert(r);
+        debug_assert!(inserted, "records are unique by construction");
+    }
+    let mut out = Vec::with_capacity(input.len());
+    tree.in_order(|r| {
+        counter.write(); // appending to the output array
+        out.push(r);
+    });
+    (out, tree.stats())
+}
+
+/// [`tree_sort_with_counter`] with a throwaway counter (plain sorting API).
+pub fn tree_sort(input: &[Record]) -> Vec<Record> {
+    tree_sort_with_counter(input, &MemCounter::new()).0
+}
+
+/// Baseline: a conventional in-place comparison sort (bottom-up mergesort),
+/// instrumented the same way. Performs Θ(n log n) reads *and* Θ(n log n)
+/// writes — the comparison point for experiment E0.
+pub fn mergesort_baseline(input: &[Record], counter: &MemCounter) -> Vec<Record> {
+    let mut a: Vec<Record> = Vec::with_capacity(input.len());
+    for &r in input {
+        counter.read();
+        counter.write();
+        a.push(r);
+    }
+    let n = a.len();
+    let mut buf = a.clone(); // scratch; its initial fill is not charged
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            // Merge a[lo..mid] and a[mid..hi] into buf[lo..hi].
+            let (mut i, mut j) = (lo, mid);
+            for slot in buf.iter_mut().take(hi).skip(lo) {
+                let take_left = j >= hi || (i < mid && { a[i] } <= { a[j] });
+                counter.add_reads(2); // the two candidate records examined
+                let v = if take_left {
+                    let v = a[i];
+                    i += 1;
+                    v
+                } else {
+                    let v = a[j];
+                    j += 1;
+                    v
+                };
+                counter.write();
+                *slot = v;
+            }
+            lo = hi;
+        }
+        std::mem::swap(&mut a, &mut buf);
+        width *= 2;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_model::record::assert_sorted_permutation;
+    use asym_model::workload::Workload;
+
+    #[test]
+    fn tree_sort_sorts_every_workload() {
+        for wl in Workload::ALL {
+            let input = wl.generate(300, 9);
+            let out = tree_sort(&input);
+            assert_sorted_permutation(&input, &out);
+        }
+    }
+
+    #[test]
+    fn baseline_sorts_every_workload() {
+        for wl in Workload::ALL {
+            let input = wl.generate(257, 4);
+            let c = MemCounter::new();
+            let out = mergesort_baseline(&input, &c);
+            assert_sorted_permutation(&input, &out);
+        }
+    }
+
+    #[test]
+    fn tree_sort_empty_and_singleton() {
+        assert!(tree_sort(&[]).is_empty());
+        let one = [Record::keyed(5)];
+        assert_eq!(tree_sort(&one), one.to_vec());
+    }
+
+    #[test]
+    fn tree_sort_writes_linear_baseline_writes_superlinear() {
+        let n1 = 1 << 10;
+        let n2 = 1 << 14;
+        let wpi = |n: usize, f: &dyn Fn(&[Record], &MemCounter)| {
+            let input = Workload::UniformRandom.generate(n, 2);
+            let c = MemCounter::new();
+            f(&input, &c);
+            c.writes() as f64 / n as f64
+        };
+        let tree_small = wpi(n1, &|i, c| {
+            tree_sort_with_counter(i, c);
+        });
+        let tree_large = wpi(n2, &|i, c| {
+            tree_sort_with_counter(i, c);
+        });
+        let base_small = wpi(n1, &|i, c| {
+            mergesort_baseline(i, c);
+        });
+        let base_large = wpi(n2, &|i, c| {
+            mergesort_baseline(i, c);
+        });
+        assert!(
+            tree_large < tree_small * 1.4,
+            "tree sort writes/n must stay flat: {tree_small:.2} -> {tree_large:.2}"
+        );
+        assert!(
+            base_large > base_small + 2.0,
+            "baseline writes/n must grow by ~log: {base_small:.2} -> {base_large:.2}"
+        );
+    }
+
+    #[test]
+    fn tree_sort_beats_baseline_on_asymmetric_cost() {
+        let input = Workload::UniformRandom.generate(1 << 13, 3);
+        let omega = 16u64;
+        let ct = MemCounter::new();
+        tree_sort_with_counter(&input, &ct);
+        let cb = MemCounter::new();
+        mergesort_baseline(&input, &cb);
+        let tree_cost = ct.reads() + omega * ct.writes();
+        let base_cost = cb.reads() + omega * cb.writes();
+        assert!(
+            tree_cost < base_cost,
+            "tree sort {tree_cost} should beat baseline {base_cost} at omega={omega}"
+        );
+    }
+
+    #[test]
+    fn stats_reflect_inserts() {
+        let input = Workload::UniformRandom.generate(512, 8);
+        let c = MemCounter::new();
+        let (_, stats) = tree_sort_with_counter(&input, &c);
+        assert_eq!(stats.inserts, 512);
+        assert!(stats.rotations > 0);
+        assert!(stats.rotations < 512, "amortized O(1) rotations per insert");
+    }
+}

@@ -1,0 +1,176 @@
+//! Secondary memory: an unbounded store of fixed-size blocks.
+
+use asym_model::{ModelError, Record, Result};
+
+/// Handle to one block of secondary memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) usize);
+
+impl BlockId {
+    /// The raw slot index (stable for the life of the block).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One block: up to `B` records (the last block of an array may be partial).
+pub type Block = Vec<Record>;
+
+/// Unbounded secondary memory, block-granular.
+///
+/// `Disk` does no cost accounting — that is [`super::EmMachine`]'s job. It
+/// only stores blocks and recycles freed slots.
+#[derive(Debug, Default)]
+pub struct Disk {
+    slots: Vec<Option<Block>>,
+    free: Vec<usize>,
+    block_size: usize,
+}
+
+impl Disk {
+    /// An empty disk with the given block size `B` (in records).
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size >= 1, "block size must be positive");
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            block_size,
+        }
+    }
+
+    /// The block size `B` this disk was built with.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Store a new block, returning its id. Panics if the block is overfull.
+    pub fn alloc(&mut self, block: Block) -> BlockId {
+        assert!(
+            block.len() <= self.block_size,
+            "block of {} records exceeds B={}",
+            block.len(),
+            self.block_size
+        );
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot] = Some(block);
+            BlockId(slot)
+        } else {
+            self.slots.push(Some(block));
+            BlockId(self.slots.len() - 1)
+        }
+    }
+
+    /// Copy a block out of secondary memory.
+    pub fn read(&self, id: BlockId) -> Result<Block> {
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .cloned()
+            .ok_or(ModelError::BadBlock(id.0))
+    }
+
+    /// Overwrite a block in place.
+    pub fn write(&mut self, id: BlockId, block: Block) -> Result<()> {
+        assert!(
+            block.len() <= self.block_size,
+            "block of {} records exceeds B={}",
+            block.len(),
+            self.block_size
+        );
+        match self.slots.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = Some(block);
+                Ok(())
+            }
+            _ => Err(ModelError::BadBlock(id.0)),
+        }
+    }
+
+    /// Release a block's slot for reuse.
+    pub fn release(&mut self, id: BlockId) -> Result<()> {
+        match self.slots.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.free.push(id.0);
+                Ok(())
+            }
+            _ => Err(ModelError::BadBlock(id.0)),
+        }
+    }
+
+    /// Number of live (allocated, unreleased) blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Uncharged peek for test oracles.
+    pub fn peek(&self, id: BlockId) -> Option<&Block> {
+        self.slots.get(id.0).and_then(|s| s.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: u64) -> Record {
+        Record::keyed(k)
+    }
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut d = Disk::new(4);
+        let id = d.alloc(vec![rec(1), rec(2)]);
+        assert_eq!(d.read(id).unwrap(), vec![rec(1), rec(2)]);
+        d.write(id, vec![rec(9)]).unwrap();
+        assert_eq!(d.read(id).unwrap(), vec![rec(9)]);
+        assert_eq!(d.block_size(), 4);
+    }
+
+    #[test]
+    fn release_recycles_slots() {
+        let mut d = Disk::new(2);
+        let a = d.alloc(vec![rec(1)]);
+        let b = d.alloc(vec![rec(2)]);
+        assert_eq!(d.live_blocks(), 2);
+        d.release(a).unwrap();
+        assert_eq!(d.live_blocks(), 1);
+        let c = d.alloc(vec![rec(3)]);
+        assert_eq!(c.index(), a.index(), "freed slot should be reused");
+        assert_eq!(d.read(b).unwrap(), vec![rec(2)]);
+    }
+
+    #[test]
+    fn stale_and_unknown_ids_error() {
+        let mut d = Disk::new(2);
+        let a = d.alloc(vec![rec(1)]);
+        d.release(a).unwrap();
+        assert!(d.read(a).is_err());
+        assert!(d.write(a, vec![]).is_err());
+        assert!(d.release(a).is_err());
+        assert!(d.read(BlockId(99)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds B")]
+    fn overfull_block_rejected_on_alloc() {
+        let mut d = Disk::new(2);
+        d.alloc(vec![rec(1), rec(2), rec(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds B")]
+    fn overfull_block_rejected_on_write() {
+        let mut d = Disk::new(2);
+        let id = d.alloc(vec![rec(1)]);
+        let _ = d.write(id, vec![rec(1), rec(2), rec(3)]);
+    }
+
+    #[test]
+    fn peek_is_uncharged_window() {
+        let mut d = Disk::new(2);
+        let id = d.alloc(vec![rec(7)]);
+        assert_eq!(d.peek(id).unwrap()[0], rec(7));
+        assert!(d.peek(BlockId(5)).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! # em-sim — the (Asymmetric) External Memory machine
+//!
+//! A faithful executable version of the AEM model of §2 of *Sorting with
+//! Asymmetric Read and Write Costs* (SPAA 2015):
+//!
+//! * an unbounded **secondary memory** ([`Disk`]) partitioned into blocks of
+//!   `B` records;
+//! * a **primary memory** of `M` records — not materialized as a separate
+//!   store, but *enforced*: algorithms must lease capacity ([`EmMachine::lease`])
+//!   for every in-memory buffer they hold, and leasing beyond the machine's
+//!   capacity faults;
+//! * two transfer instructions: [`EmMachine::read_block`] (cost 1) and
+//!   [`EmMachine::write_block`] (cost ω).
+//!
+//! The I/O complexity of an algorithm is read directly off the machine's
+//! counters: `block_reads + omega * block_writes`. RAM instructions on data in
+//! primary memory are free, exactly as in the model.
+//!
+//! [`EmVec`] provides disk-resident arrays with buffered sequential readers
+//! and writers, which is the access pattern every §4 algorithm uses.
+
+pub mod disk;
+pub mod machine;
+pub mod vec;
+
+pub use disk::{Block, BlockId, Disk};
+pub use machine::{EmConfig, EmMachine, EmStats, MemLease};
+pub use vec::{EmReader, EmVec, EmWriter};

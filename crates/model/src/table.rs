@@ -1,0 +1,177 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every experiment prints one or more tables shaped like the paper's bound
+//! statements (columns for n, ω, k, measured reads/writes, formula values,
+//! ratios). [`Table`] right-aligns numeric columns and keeps the output
+//! stable so `bench_output.txt` diffs cleanly between runs.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string (also what `Display` prints).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numbers, left-align text.
+                if cell.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with 3 significant decimals for table cells.
+pub fn f3(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else if x.is_nan() {
+        "nan".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else if x.is_nan() {
+        "nan".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format an integer count.
+pub fn u(x: u64) -> String {
+    x.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "count"]);
+        t.row(&["alpha".into(), "5".into()]);
+        t.row(&["b".into(), "12345".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("12345"));
+        assert!(s.contains("note: a note"));
+        // Numeric column is right-aligned: "    5" under "12345".
+        let lines: Vec<&str> = s.lines().collect();
+        let five = lines.iter().find(|l| l.contains("alpha")).unwrap();
+        assert!(five.ends_with('5'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.239), "1.24");
+        assert_eq!(f3(f64::INFINITY), "inf");
+        assert_eq!(f2(f64::NAN), "nan");
+        assert_eq!(u(42), "42");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new("d", &["c"]);
+        t.row(&["1".into()]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic input generators.
+//!
+//! Every experiment in this reproduction takes its input from one of these
+//! generators, seeded explicitly so all runs are replayable. The paper's
+//! bounds are comparison-based and hold for any input; the harness runs
+//! several distributions to confirm the measured counts are input-insensitive
+//! (and to stress randomized pieces like splitter sampling with skew).
+
+use crate::record::{Record, MAX_KEY};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The input distributions used across experiments.
+///
+/// ```
+/// use asym_model::workload::Workload;
+/// let records = Workload::UniformRandom.generate(100, 42);
+/// assert_eq!(records.len(), 100);
+/// assert_eq!(records, Workload::UniformRandom.generate(100, 42)); // seeded
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Uniformly random unique keys.
+    UniformRandom,
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    Reversed,
+    /// Sorted, then a fraction of random adjacent-ish swaps (~5% of n).
+    NearlySorted,
+    /// Only `sqrt(n)` distinct key values (duplicates broken by payload).
+    FewDistinct,
+    /// Zipf-distributed key popularity (heavy skew; duplicates broken by payload).
+    Zipf,
+    /// Organ pipe: ascending then descending.
+    OrganPipe,
+}
+
+impl Workload {
+    /// All generator variants (handy for exhaustive test loops).
+    pub const ALL: [Workload; 7] = [
+        Workload::UniformRandom,
+        Workload::Sorted,
+        Workload::Reversed,
+        Workload::NearlySorted,
+        Workload::FewDistinct,
+        Workload::Zipf,
+        Workload::OrganPipe,
+    ];
+
+    /// Short stable name used in table output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::UniformRandom => "uniform",
+            Workload::Sorted => "sorted",
+            Workload::Reversed => "reversed",
+            Workload::NearlySorted => "nearly-sorted",
+            Workload::FewDistinct => "few-distinct",
+            Workload::Zipf => "zipf",
+            Workload::OrganPipe => "organ-pipe",
+        }
+    }
+
+    /// Generate `n` records with payload = original index.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Record> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
+        let mut out: Vec<Record> = match self {
+            Workload::UniformRandom => {
+                let mut keys = unique_uniform_keys(n, &mut rng);
+                keys.shuffle(&mut rng);
+                keys.into_iter().map(Record::keyed).collect()
+            }
+            Workload::Sorted => {
+                let mut keys = unique_uniform_keys(n, &mut rng);
+                keys.sort_unstable();
+                keys.into_iter().map(Record::keyed).collect()
+            }
+            Workload::Reversed => {
+                let mut keys = unique_uniform_keys(n, &mut rng);
+                keys.sort_unstable();
+                keys.reverse();
+                keys.into_iter().map(Record::keyed).collect()
+            }
+            Workload::NearlySorted => {
+                let mut keys = unique_uniform_keys(n, &mut rng);
+                keys.sort_unstable();
+                let swaps = n / 20;
+                for _ in 0..swaps {
+                    if n < 2 {
+                        break;
+                    }
+                    let i = rng.gen_range(0..n);
+                    let j = (i + 1 + rng.gen_range(0..8.min(n))) % n;
+                    keys.swap(i, j);
+                }
+                keys.into_iter().map(Record::keyed).collect()
+            }
+            Workload::FewDistinct => {
+                let distinct = (n as f64).sqrt().ceil().max(1.0) as u64;
+                (0..n)
+                    .map(|_| Record::new(rng.gen_range(0..distinct), 0))
+                    .collect()
+            }
+            Workload::Zipf => (0..n)
+                .map(|_| Record::new(zipf_sample(n.max(2) as u64, 1.1, &mut rng), 0))
+                .collect(),
+            Workload::OrganPipe => {
+                let half = n / 2;
+                let mut keys: Vec<u64> = (0..half as u64).collect();
+                keys.extend((0..(n - half) as u64).rev());
+                keys.into_iter().map(Record::keyed).collect()
+            }
+        };
+        // Payload = original position, which also makes all records distinct
+        // (the paper's uniqueness-by-index convention).
+        for (i, r) in out.iter_mut().enumerate() {
+            r.payload = i as u64;
+        }
+        out
+    }
+}
+
+/// `n` unique uniformly distributed keys in `[0, MAX_KEY]`, ascendingly biased
+/// rejection-free construction: sample with replacement, then deduplicate by
+/// mixing in a counter (key space is 2^64 so collisions are already rare).
+fn unique_uniform_keys(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut keys: Vec<u64> = Vec::with_capacity(n);
+    let mut used = std::collections::HashSet::with_capacity(n * 2);
+    while keys.len() < n {
+        let mut k = rng.gen_range(0..=MAX_KEY);
+        while !used.insert(k) {
+            k = k.wrapping_add(0x9e37_79b9_7f4a_7c15) & MAX_KEY;
+        }
+        keys.push(k);
+    }
+    keys
+}
+
+/// Approximate Zipf(s) sampler over `[0, n)` by inverse transform on the
+/// truncated harmonic series (adequate for workload skew; not a statistics
+/// library).
+fn zipf_sample(n: u64, s: f64, rng: &mut StdRng) -> u64 {
+    // Inverse-CDF via the integral approximation of the generalized harmonic
+    // numbers: H(x) ~ (x^{1-s} - 1) / (1 - s).
+    let h = |x: f64| ((x + 1.0).powf(1.0 - s) - 1.0) / (1.0 - s);
+    let total = h(n as f64);
+    let u: f64 = rng.gen_range(0.0..1.0) * total;
+    // Invert: x = (u * (1-s) + 1)^{1/(1-s)} - 1.
+    let x = (u * (1.0 - s) + 1.0).powf(1.0 / (1.0 - s)) - 1.0;
+    (x.max(0.0) as u64).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::is_sorted;
+
+    #[test]
+    fn generators_produce_requested_length() {
+        for wl in Workload::ALL {
+            for n in [0usize, 1, 2, 17, 256] {
+                let v = wl.generate(n, 42);
+                assert_eq!(v.len(), n, "{} length", wl.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        for wl in Workload::ALL {
+            let a = wl.generate(100, 7);
+            let b = wl.generate(100, 7);
+            let c = wl.generate(100, 8);
+            assert_eq!(a, b, "{} must be deterministic", wl.name());
+            if wl != Workload::Sorted && wl != Workload::OrganPipe && wl != Workload::Reversed {
+                assert_ne!(a, c, "{} should vary with seed", wl.name());
+            }
+        }
+    }
+
+    #[test]
+    fn payloads_are_positions_and_records_unique() {
+        for wl in Workload::ALL {
+            let v = wl.generate(500, 3);
+            for (i, r) in v.iter().enumerate() {
+                assert_eq!(r.payload, i as u64);
+            }
+            let mut set: Vec<Record> = v.clone();
+            set.sort_unstable();
+            set.dedup();
+            assert_eq!(set.len(), v.len(), "{} records must be unique", wl.name());
+        }
+    }
+
+    #[test]
+    fn sorted_workload_is_sorted_and_reversed_is_descending() {
+        let s = Workload::Sorted.generate(200, 1);
+        assert!(is_sorted(&s));
+        let r = Workload::Reversed.generate(200, 1);
+        assert!(r.windows(2).all(|w| w[0].key >= w[1].key));
+    }
+
+    #[test]
+    fn few_distinct_has_few_distinct_keys() {
+        let v = Workload::FewDistinct.generate(10_000, 5);
+        let mut keys: Vec<u64> = v.iter().map(|r| r.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert!(keys.len() <= 140, "expected ~sqrt(n)=100 distinct keys");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_keys() {
+        let v = Workload::Zipf.generate(10_000, 5);
+        let small = v.iter().filter(|r| r.key < 10).count();
+        assert!(
+            small > v.len() / 4,
+            "zipf should concentrate mass on small keys, got {small}"
+        );
+    }
+
+    #[test]
+    fn organ_pipe_rises_then_falls() {
+        let v = Workload::OrganPipe.generate(10, 0);
+        let keys: Vec<u64> = v.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn uniform_keys_stay_below_sentinel() {
+        let v = Workload::UniformRandom.generate(1000, 9);
+        assert!(v.iter().all(|r| r.key <= MAX_KEY));
+    }
+}

@@ -1,0 +1,161 @@
+//! The work-depth cost algebra.
+
+/// A work-depth cost in the Asymmetric PRAM model.
+///
+/// ```
+/// use wd_sim::Cost;
+/// let omega = 8;
+/// let scan = Cost::strand(100, 10, omega);        // sequential strand
+/// let par = scan.par(Cost::strand(50, 50, omega)); // parallel: depth maxes
+/// assert_eq!(par.depth, 50 + 8 * 50);
+/// assert_eq!(par.reads, 150);
+/// ```
+///
+/// `reads` and `writes` are raw operation counts (work splits); `depth` is
+/// the ω-weighted length of the critical path. Costs compose with
+/// [`then`](Cost::then) (sequential: depths add) and [`par`](Cost::par)
+/// (parallel: depths max), so an algorithm that builds its cost bottom-up
+/// obtains the work and depth of its actual dependence DAG.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Read (and other unit-cost) operations.
+    pub reads: u64,
+    /// Write operations (each costs ω in time and depth).
+    pub writes: u64,
+    /// ω-weighted critical-path length.
+    pub depth: u64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        reads: 0,
+        writes: 0,
+        depth: 0,
+    };
+
+    /// A sequential strand of `reads` reads and `writes` writes under write
+    /// cost `omega`: depth is its full ω-weighted length.
+    pub fn strand(reads: u64, writes: u64, omega: u64) -> Cost {
+        Cost {
+            reads,
+            writes,
+            depth: reads + omega * writes,
+        }
+    }
+
+    /// A strand of only reads.
+    pub fn reads(n: u64) -> Cost {
+        Cost {
+            reads: n,
+            writes: 0,
+            depth: n,
+        }
+    }
+
+    /// A strand of only writes under write cost `omega`.
+    pub fn writes(n: u64, omega: u64) -> Cost {
+        Cost {
+            reads: 0,
+            writes: n,
+            depth: n * omega,
+        }
+    }
+
+    /// Sequential composition: work adds, depth adds.
+    #[must_use]
+    pub fn then(self, o: Cost) -> Cost {
+        Cost {
+            reads: self.reads + o.reads,
+            writes: self.writes + o.writes,
+            depth: self.depth + o.depth,
+        }
+    }
+
+    /// Parallel composition: work adds, depth maxes.
+    #[must_use]
+    pub fn par(self, o: Cost) -> Cost {
+        Cost {
+            reads: self.reads + o.reads,
+            writes: self.writes + o.writes,
+            depth: self.depth.max(o.depth),
+        }
+    }
+
+    /// Parallel composition of many costs.
+    pub fn par_all(costs: impl IntoIterator<Item = Cost>) -> Cost {
+        costs.into_iter().fold(Cost::ZERO, Cost::par)
+    }
+
+    /// Sequential composition of many costs.
+    pub fn seq_all(costs: impl IntoIterator<Item = Cost>) -> Cost {
+        costs.into_iter().fold(Cost::ZERO, Cost::then)
+    }
+
+    /// Total ω-weighted work.
+    pub fn work(&self, omega: u64) -> u64 {
+        self.reads + omega * self.writes
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} depth={}",
+            self.reads, self.writes, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strand_depth_is_omega_weighted() {
+        let c = Cost::strand(10, 3, 4);
+        assert_eq!(c.depth, 10 + 12);
+        assert_eq!(c.work(4), 22);
+        assert_eq!(Cost::reads(5).depth, 5);
+        assert_eq!(Cost::writes(2, 8).depth, 16);
+    }
+
+    #[test]
+    fn then_adds_depth_par_maxes() {
+        let a = Cost::strand(4, 0, 2);
+        let b = Cost::strand(0, 3, 2);
+        let s = a.then(b);
+        assert_eq!(s.depth, 4 + 6);
+        assert_eq!((s.reads, s.writes), (4, 3));
+        let p = a.par(b);
+        assert_eq!(p.depth, 6);
+        assert_eq!((p.reads, p.writes), (4, 3));
+    }
+
+    #[test]
+    fn par_all_and_seq_all_fold() {
+        let cs = vec![Cost::reads(1), Cost::reads(5), Cost::reads(3)];
+        let p = Cost::par_all(cs.clone());
+        assert_eq!(p.reads, 9);
+        assert_eq!(p.depth, 5);
+        let s = Cost::seq_all(cs);
+        assert_eq!(s.depth, 9);
+        assert_eq!(Cost::par_all(std::iter::empty()), Cost::ZERO);
+    }
+
+    #[test]
+    fn algebra_is_associative_on_samples() {
+        let a = Cost::strand(1, 2, 3);
+        let b = Cost::strand(4, 0, 3);
+        let c = Cost::strand(0, 5, 3);
+        assert_eq!(a.then(b).then(c), a.then(b.then(c)));
+        assert_eq!(a.par(b).par(c), a.par(b.par(c)));
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let s = Cost::strand(1, 2, 3).to_string();
+        assert!(s.contains("reads=1") && s.contains("writes=2") && s.contains("depth=7"));
+    }
+}

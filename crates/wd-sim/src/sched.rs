@@ -1,0 +1,718 @@
+//! Fork-join task trees and a randomized work-stealing scheduler simulation.
+//!
+//! The §2 private-cache bound `Qp ≤ Q1 + O(p·D·M/B)` rests on the classic
+//! work-stealing fact that the number of steals is `O(pD)` w.h.p., each steal
+//! charged `O(M/B)` cache-warm-up misses (pessimistically `2M/B` in the
+//! asymmetric setting, since stolen lines may be dirty). The simulation here
+//! executes a fork-join tree on `p` simulated processors with randomized
+//! stealing and *measures* the number of steals, which experiment E12
+//! compares against `p · D`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A fork-join computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// A sequential strand of `w` unit-time operations.
+    Work(u64),
+    /// Children executed one after another.
+    Seq(Vec<Task>),
+    /// Children executed in parallel (joined at the end).
+    Par(Vec<Task>),
+}
+
+impl Task {
+    /// Total work.
+    pub fn work(&self) -> u64 {
+        match self {
+            Task::Work(w) => *w,
+            Task::Seq(cs) | Task::Par(cs) => cs.iter().map(Task::work).sum(),
+        }
+    }
+
+    /// Critical-path length.
+    pub fn depth(&self) -> u64 {
+        match self {
+            Task::Work(w) => *w,
+            Task::Seq(cs) => cs.iter().map(Task::depth).sum(),
+            Task::Par(cs) => cs.iter().map(Task::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// A balanced binary fork-join tree with `leaves` leaves of `leaf_work`
+    /// unit operations each, plus `spawn_work` at every internal node
+    /// (the shape of a parallel divide-and-conquer like mergesort).
+    pub fn balanced(leaves: usize, leaf_work: u64, spawn_work: u64) -> Task {
+        if leaves <= 1 {
+            return Task::Work(leaf_work);
+        }
+        let left = leaves / 2;
+        Task::Seq(vec![
+            Task::Work(spawn_work),
+            Task::Par(vec![
+                Task::balanced(left, leaf_work, spawn_work),
+                Task::balanced(leaves - left, leaf_work, spawn_work),
+            ]),
+        ])
+    }
+}
+
+/// What the work-stealing simulation measured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Successful steals.
+    pub steals: u64,
+    /// Failed steal attempts (victim deque empty).
+    pub failed_steals: u64,
+    /// Simulated time steps until completion.
+    pub time: u64,
+    /// Total unit work in the tree (for utilization).
+    pub work: u64,
+    /// Critical-path length of the tree.
+    pub depth: u64,
+}
+
+impl StealStats {
+    /// Fraction of processor-steps spent on useful work.
+    pub fn utilization(&self, p: usize) -> f64 {
+        if self.time == 0 {
+            return 1.0;
+        }
+        self.work as f64 / (self.time as f64 * p as f64)
+    }
+}
+
+// ---- simulation internals ---------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Work(u64),
+    Seq(Vec<usize>),
+    Par(Vec<usize>),
+}
+
+struct Arena {
+    kind: Vec<NodeKind>,
+    parent: Vec<Option<(usize, usize)>>, // (parent id, index within parent)
+}
+
+impl Arena {
+    fn build(task: &Task) -> (Arena, usize) {
+        let mut arena = Arena {
+            kind: Vec::new(),
+            parent: Vec::new(),
+        };
+        let root = arena.add(task);
+        (arena, root)
+    }
+
+    fn add(&mut self, task: &Task) -> usize {
+        let id = self.kind.len();
+        self.kind.push(NodeKind::Work(0)); // placeholder
+        self.parent.push(None);
+        let kind = match task {
+            Task::Work(w) => NodeKind::Work(*w),
+            Task::Seq(cs) => {
+                let ids: Vec<usize> = cs.iter().map(|c| self.add(c)).collect();
+                for (i, &c) in ids.iter().enumerate() {
+                    self.parent[c] = Some((id, i));
+                }
+                NodeKind::Seq(ids)
+            }
+            Task::Par(cs) => {
+                let ids: Vec<usize> = cs.iter().map(|c| self.add(c)).collect();
+                for (i, &c) in ids.iter().enumerate() {
+                    self.parent[c] = Some((id, i));
+                }
+                NodeKind::Par(ids)
+            }
+        };
+        self.kind[id] = kind;
+        id
+    }
+}
+
+/// Simulate randomized work stealing of `task` on `p` processors.
+///
+/// Each time step, every busy processor executes one unit of work; every idle
+/// processor first tries its own deque, then makes one steal attempt at a
+/// uniformly random victim (taking from the top, i.e. the oldest spawned
+/// subtask). Structural operations (forking, joining) are free, matching the
+/// conventions of the analysis.
+pub fn simulate_work_stealing(task: &Task, p: usize, rng: &mut StdRng) -> StealStats {
+    assert!(p >= 1);
+    let (arena, root) = Arena::build(task);
+    let n = arena.kind.len();
+    let mut join_remaining: Vec<usize> = vec![0; n];
+
+    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); p];
+    // What each processor is executing: Some((node, remaining_work)).
+    let mut current: Vec<Option<(usize, u64)>> = vec![None; p];
+    let mut done = false;
+
+    let mut stats = StealStats {
+        work: task.work(),
+        depth: task.depth(),
+        ..StealStats::default()
+    };
+
+    // Descend from `node` to its leftmost runnable leaf, spawning parallel
+    // siblings onto `deque`. `Ok((leaf, w))` is a work leaf that takes time;
+    // `Err(inner)` is a structurally-empty node (empty Seq/Par or zero-work
+    // leaf) whose completion must propagate without consuming a time step.
+    fn activate(
+        arena: &Arena,
+        join_remaining: &mut [usize],
+        deque: &mut VecDeque<usize>,
+        mut node: usize,
+    ) -> std::result::Result<(usize, u64), usize> {
+        loop {
+            match &arena.kind[node] {
+                NodeKind::Work(0) => return Err(node),
+                NodeKind::Work(w) => return Ok((node, *w)),
+                NodeKind::Seq(cs) => {
+                    if cs.is_empty() {
+                        return Err(node);
+                    }
+                    node = cs[0];
+                }
+                NodeKind::Par(cs) => {
+                    if cs.is_empty() {
+                        return Err(node);
+                    }
+                    join_remaining[node] = cs.len();
+                    for &c in cs[1..].iter().rev() {
+                        deque.push_back(c);
+                    }
+                    node = cs[0];
+                }
+            }
+        }
+    }
+
+    // Propagate completion of `node` upward; returns the next node to run if
+    // the completing processor picks up a continuation, or None.
+    fn complete(
+        arena: &Arena,
+        join_remaining: &mut [usize],
+        node: usize,
+        done: &mut bool,
+    ) -> Option<usize> {
+        let mut cur = node;
+        loop {
+            match arena.parent[cur] {
+                None => {
+                    *done = true;
+                    return None;
+                }
+                Some((parent, idx)) => match &arena.kind[parent] {
+                    NodeKind::Seq(cs) => {
+                        if idx + 1 < cs.len() {
+                            return Some(cs[idx + 1]);
+                        }
+                        cur = parent;
+                    }
+                    NodeKind::Par(_) => {
+                        join_remaining[parent] -= 1;
+                        if join_remaining[parent] > 0 {
+                            return None;
+                        }
+                        cur = parent;
+                    }
+                    NodeKind::Work(_) => unreachable!("work nodes have no children"),
+                },
+            }
+        }
+    }
+
+    // Drive `node` on processor `proc` until it either starts a work leaf or
+    // runs out of continuations.
+    fn take_up(
+        arena: &Arena,
+        join_remaining: &mut [usize],
+        deques: &mut [VecDeque<usize>],
+        current: &mut [Option<(usize, u64)>],
+        done: &mut bool,
+        proc: usize,
+        node: usize,
+    ) {
+        let mut next = Some(node);
+        while let Some(nx) = next.take() {
+            match activate(arena, join_remaining, &mut deques[proc], nx) {
+                Ok(cur) => current[proc] = Some(cur),
+                Err(inner) => {
+                    next = complete(arena, join_remaining, inner, done);
+                    if *done {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    // Processor 0 starts at the root.
+    take_up(
+        &arena,
+        &mut join_remaining,
+        &mut deques,
+        &mut current,
+        &mut done,
+        0,
+        root,
+    );
+    if done {
+        return stats;
+    }
+
+    while !done {
+        stats.time += 1;
+        // Phase 1: busy processors execute one unit.
+        for proc in 0..p {
+            if let Some((node, remaining)) = current[proc] {
+                let remaining = remaining.saturating_sub(1);
+                if remaining > 0 {
+                    current[proc] = Some((node, remaining));
+                    continue;
+                }
+                current[proc] = None;
+                // Completion cascade, then continuation pick-up.
+                if let Some(nx) = complete(&arena, &mut join_remaining, node, &mut done) {
+                    take_up(
+                        &arena,
+                        &mut join_remaining,
+                        &mut deques,
+                        &mut current,
+                        &mut done,
+                        proc,
+                        nx,
+                    );
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        if done {
+            break;
+        }
+        // Phase 2: idle processors pop locally or steal.
+        for proc in 0..p {
+            if current[proc].is_some() {
+                continue;
+            }
+            // Local pop (bottom of own deque).
+            let mut acquired = deques[proc].pop_back();
+            let mut was_steal = false;
+            if acquired.is_none() && p > 1 {
+                let victim = rng.gen_range(0..p - 1);
+                let victim = if victim >= proc { victim + 1 } else { victim };
+                acquired = deques[victim].pop_front();
+                if acquired.is_some() {
+                    was_steal = true;
+                    stats.steals += 1;
+                } else {
+                    stats.failed_steals += 1;
+                }
+            }
+            let _ = was_steal;
+            if let Some(nx) = acquired {
+                take_up(
+                    &arena,
+                    &mut join_remaining,
+                    &mut deques,
+                    &mut current,
+                    &mut done,
+                    proc,
+                    nx,
+                );
+            }
+            if done {
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// What the parallel-depth-first (PDF) simulation measured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PdfStats {
+    /// Simulated time steps until completion.
+    pub time: u64,
+    /// Maximum number of *premature* leaves at any instant: leaves executed
+    /// (or executing) ahead of the longest completed prefix of the
+    /// sequential depth-first order. The §2 shared-cache bound Qp ≤ Q1
+    /// needs a shared cache of M + p·B·D because premature work is bounded
+    /// by ~p·D nodes, which is exactly what this measures.
+    pub max_premature: u64,
+    /// Total unit work.
+    pub work: u64,
+    /// Critical-path length.
+    pub depth: u64,
+}
+
+/// Simulate a parallel-depth-first schedule of `task` on `p` processors:
+/// whenever a processor frees up, it takes the ready strand that comes
+/// earliest in the sequential depth-first order.
+pub fn simulate_pdf(task: &Task, p: usize) -> PdfStats {
+    assert!(p >= 1);
+    let (arena, root) = Arena::build(task);
+    let n = arena.kind.len();
+    let mut join_remaining: Vec<usize> = vec![0; n];
+
+    // Sequential (depth-first) index of every Work leaf.
+    let mut seq_of: Vec<u64> = vec![u64::MAX; n];
+    let mut leaf_count = 0u64;
+    {
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            match &arena.kind[x] {
+                NodeKind::Work(_) => {
+                    seq_of[x] = leaf_count;
+                    leaf_count += 1;
+                }
+                NodeKind::Seq(cs) | NodeKind::Par(cs) => {
+                    for &c in cs.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    // Ready pool ordered by sequential index (min-heap).
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut done = false;
+
+    // Descend, placing every activatable leaf into the ready pool.
+    fn activate_pdf(
+        arena: &Arena,
+        join_remaining: &mut [usize],
+        seq_of: &[u64],
+        ready: &mut BinaryHeap<Reverse<(u64, usize)>>,
+        pending_empty: &mut Vec<usize>,
+        node: usize,
+    ) {
+        match &arena.kind[node] {
+            NodeKind::Work(0) => pending_empty.push(node),
+            NodeKind::Work(_) => ready.push(Reverse((seq_of[node], node))),
+            NodeKind::Seq(cs) => {
+                if cs.is_empty() {
+                    pending_empty.push(node);
+                } else {
+                    activate_pdf(arena, join_remaining, seq_of, ready, pending_empty, cs[0]);
+                }
+            }
+            NodeKind::Par(cs) => {
+                if cs.is_empty() {
+                    pending_empty.push(node);
+                } else {
+                    join_remaining[node] = cs.len();
+                    for &c in cs {
+                        activate_pdf(arena, join_remaining, seq_of, ready, pending_empty, c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_pdf(
+        arena: &Arena,
+        join_remaining: &mut [usize],
+        node: usize,
+        done: &mut bool,
+    ) -> Option<usize> {
+        let mut cur = node;
+        loop {
+            match arena.parent[cur] {
+                None => {
+                    *done = true;
+                    return None;
+                }
+                Some((parent, idx)) => match &arena.kind[parent] {
+                    NodeKind::Seq(cs) => {
+                        if idx + 1 < cs.len() {
+                            return Some(cs[idx + 1]);
+                        }
+                        cur = parent;
+                    }
+                    NodeKind::Par(_) => {
+                        join_remaining[parent] -= 1;
+                        if join_remaining[parent] > 0 {
+                            return None;
+                        }
+                        cur = parent;
+                    }
+                    NodeKind::Work(_) => unreachable!(),
+                },
+            }
+        }
+    }
+
+    // Drain structural completions until only real work remains ready.
+    let mut pending_empty: Vec<usize> = Vec::new();
+    activate_pdf(
+        &arena,
+        &mut join_remaining,
+        &seq_of,
+        &mut ready,
+        &mut pending_empty,
+        root,
+    );
+    while let Some(x) = pending_empty.pop() {
+        if let Some(nx) = complete_pdf(&arena, &mut join_remaining, x, &mut done) {
+            activate_pdf(
+                &arena,
+                &mut join_remaining,
+                &seq_of,
+                &mut ready,
+                &mut pending_empty,
+                nx,
+            );
+        }
+        if done {
+            return PdfStats {
+                work: task.work(),
+                depth: task.depth(),
+                ..PdfStats::default()
+            };
+        }
+    }
+
+    let mut running: Vec<Option<(usize, u64)>> = vec![None; p];
+    let mut leaf_done: Vec<bool> = vec![false; n];
+    let mut frontier = 0u64; // leaves [0, frontier) of the seq order are done
+    let mut seq_leaves: Vec<usize> = vec![usize::MAX; leaf_count as usize];
+    for (node, &sq) in seq_of.iter().enumerate() {
+        if sq != u64::MAX {
+            seq_leaves[sq as usize] = node;
+        }
+    }
+
+    let mut stats = PdfStats {
+        work: task.work(),
+        depth: task.depth(),
+        ..PdfStats::default()
+    };
+    let mut completed_leaves = 0u64;
+    let mut executing = 0u64;
+
+    while !done {
+        // Assign free processors the earliest-sequential ready strands.
+        for slot in running.iter_mut() {
+            if slot.is_none() {
+                if let Some(Reverse((_, node))) = ready.pop() {
+                    let w = match arena.kind[node] {
+                        NodeKind::Work(w) => w,
+                        _ => unreachable!("ready pool holds work leaves"),
+                    };
+                    *slot = Some((node, w));
+                    executing += 1;
+                }
+            }
+        }
+        // Premature = leaves touched beyond the completed sequential prefix.
+        let touched = completed_leaves + executing;
+        let premature = touched.saturating_sub(frontier);
+        stats.max_premature = stats.max_premature.max(premature);
+
+        stats.time += 1;
+        for slot in running.iter_mut() {
+            if let Some((node, remaining)) = *slot {
+                let remaining = remaining - 1;
+                if remaining > 0 {
+                    *slot = Some((node, remaining));
+                    continue;
+                }
+                *slot = None;
+                executing -= 1;
+                completed_leaves += 1;
+                leaf_done[node] = true;
+                while (frontier as usize) < seq_leaves.len()
+                    && leaf_done[seq_leaves[frontier as usize]]
+                {
+                    frontier += 1;
+                }
+                let mut next = complete_pdf(&arena, &mut join_remaining, node, &mut done);
+                while let Some(nx) = next.take() {
+                    let mut pe: Vec<usize> = Vec::new();
+                    activate_pdf(&arena, &mut join_remaining, &seq_of, &mut ready, &mut pe, nx);
+                    while let Some(x) = pe.pop() {
+                        if let Some(further) =
+                            complete_pdf(&arena, &mut join_remaining, x, &mut done)
+                        {
+                            activate_pdf(
+                                &arena,
+                                &mut join_remaining,
+                                &seq_of,
+                                &mut ready,
+                                &mut pe,
+                                further,
+                            );
+                        }
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn work_and_depth_of_trees() {
+        let t = Task::Seq(vec![
+            Task::Work(3),
+            Task::Par(vec![Task::Work(5), Task::Work(2)]),
+        ]);
+        assert_eq!(t.work(), 10);
+        assert_eq!(t.depth(), 8);
+        let b = Task::balanced(4, 10, 1);
+        assert_eq!(b.work(), 4 * 10 + 3); // 3 internal spawn nodes
+        assert_eq!(b.depth(), 10 + 2); // two levels of spawn
+    }
+
+    #[test]
+    fn single_processor_time_equals_work() {
+        let t = Task::balanced(8, 5, 0);
+        let s = simulate_work_stealing(&t, 1, &mut rng());
+        assert_eq!(s.time, t.work());
+        assert_eq!(s.steals, 0);
+    }
+
+    #[test]
+    fn parallel_execution_speeds_up() {
+        let t = Task::balanced(64, 100, 0);
+        let s1 = simulate_work_stealing(&t, 1, &mut rng());
+        let s8 = simulate_work_stealing(&t, 8, &mut rng());
+        assert!(
+            s8.time < s1.time / 4,
+            "8 processors should give near-linear speedup: {} vs {}",
+            s8.time,
+            s1.time
+        );
+        assert!(s8.steals > 0, "parallelism requires steals");
+    }
+
+    #[test]
+    fn time_respects_greedy_bounds() {
+        // Greedy scheduling: T_p <= work/p + depth (with steal slack we allow
+        // a factor of ~3); also T_p >= max(work/p, depth).
+        let t = Task::balanced(32, 50, 2);
+        for p in [2usize, 4, 8] {
+            let s = simulate_work_stealing(&t, p, &mut rng());
+            let lower = (t.work() / p as u64).max(t.depth());
+            let upper = 3 * (t.work() / p as u64 + t.depth()) + 3;
+            assert!(s.time >= lower, "p={p}: {} < {lower}", s.time);
+            assert!(s.time <= upper, "p={p}: {} > {upper}", s.time);
+        }
+    }
+
+    #[test]
+    fn steals_scale_with_p_times_depth() {
+        let t = Task::balanced(256, 20, 1);
+        let d = t.depth();
+        for p in [2usize, 4, 8, 16] {
+            let mut total = 0u64;
+            for seed in 0..5u64 {
+                let mut r = StdRng::seed_from_u64(seed);
+                total += simulate_work_stealing(&t, p, &mut r).steals;
+            }
+            let mean = total / 5;
+            let bound = 4 * p as u64 * d;
+            assert!(
+                mean <= bound,
+                "p={p}: mean steals {mean} exceeds 4·p·D = {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_tasks_complete() {
+        let s = simulate_work_stealing(&Task::Work(0), 2, &mut rng());
+        assert_eq!(s.time, 0);
+        let s = simulate_work_stealing(&Task::Seq(vec![]), 2, &mut rng());
+        assert_eq!(s.time, 0);
+        let s = simulate_work_stealing(&Task::Par(vec![]), 3, &mut rng());
+        assert_eq!(s.time, 0);
+        let s = simulate_work_stealing(&Task::Work(5), 4, &mut rng());
+        assert_eq!(s.time, 5);
+    }
+
+    #[test]
+    fn nested_seq_par_chains_complete() {
+        let t = Task::Seq(vec![
+            Task::Par(vec![
+                Task::Seq(vec![Task::Work(1), Task::Work(1)]),
+                Task::Par(vec![Task::Work(2), Task::Work(3), Task::Work(1)]),
+            ]),
+            Task::Work(4),
+        ]);
+        let s = simulate_work_stealing(&t, 3, &mut rng());
+        assert!(s.time >= t.depth());
+        assert_eq!(s.work, t.work());
+    }
+
+    #[test]
+    fn pdf_single_processor_is_sequential() {
+        let t = Task::balanced(16, 8, 1);
+        let s = simulate_pdf(&t, 1);
+        assert_eq!(s.time, t.work());
+        assert!(s.max_premature <= 1, "p=1 executes in sequential order");
+    }
+
+    #[test]
+    fn pdf_premature_work_bounded_by_p_times_depth() {
+        let t = Task::balanced(256, 16, 1);
+        for p in [2usize, 4, 8, 16] {
+            let s = simulate_pdf(&t, p);
+            assert!(
+                s.max_premature <= (p as u64) * t.depth(),
+                "p={p}: premature {} beyond p*D = {}",
+                s.max_premature,
+                p as u64 * t.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_respects_greedy_time_bounds() {
+        let t = Task::balanced(64, 32, 2);
+        for p in [2usize, 8] {
+            let s = simulate_pdf(&t, p);
+            let lower = (t.work() / p as u64).max(t.depth());
+            assert!(s.time >= lower);
+            assert!(s.time <= t.work() / p as u64 + t.depth() + 1);
+        }
+    }
+
+    #[test]
+    fn pdf_handles_structural_edge_cases() {
+        assert_eq!(simulate_pdf(&Task::Seq(vec![]), 4).time, 0);
+        assert_eq!(simulate_pdf(&Task::Par(vec![]), 4).time, 0);
+        assert_eq!(simulate_pdf(&Task::Work(0), 2).time, 0);
+        assert_eq!(simulate_pdf(&Task::Work(7), 3).time, 7);
+    }
+
+    #[test]
+    fn utilization_is_high_with_ample_parallelism() {
+        let t = Task::balanced(128, 100, 0);
+        let s = simulate_work_stealing(&t, 4, &mut rng());
+        assert!(s.utilization(4) > 0.8, "utilization {}", s.utilization(4));
+    }
+}

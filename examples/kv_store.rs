@@ -1,0 +1,118 @@
+//! A write-efficient key-value store on NVM (§3's dictionary claim).
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+//!
+//! An update-heavy KV workload (puts, overwrites, deletes, lookups) runs
+//! through the red-black-tree dictionary, which performs O(log n) reads but
+//! only O(1) amortized writes per update. A sorted-array baseline — the
+//! "just keep it compact" strawman — pays Θ(n) record moves per update.
+//! At PCM-like ω the asymmetric cost gap is the point of the section.
+
+use asym_core::ram::dict::RamDictionary;
+use asym_model::table::{f2, f3, Table};
+use asym_model::{CostModel, MemCounter};
+use rand::{Rng, SeedableRng};
+
+/// Sorted-array baseline with counted record moves.
+struct SortedArrayStore {
+    data: Vec<(u64, u64)>,
+    counter: MemCounter,
+}
+
+impl SortedArrayStore {
+    fn new(counter: MemCounter) -> Self {
+        Self {
+            data: Vec::new(),
+            counter,
+        }
+    }
+
+    fn put(&mut self, k: u64, v: u64) {
+        let pos = self.data.partition_point(|&(dk, _)| dk < k);
+        self.counter
+            .add_reads((self.data.len().max(1)).ilog2() as u64 + 1);
+        if pos < self.data.len() && self.data[pos].0 == k {
+            self.counter.write();
+            self.data[pos].1 = v;
+        } else {
+            // Shifting the tail moves every record once.
+            let moved = (self.data.len() - pos) as u64;
+            self.counter.add_reads(moved);
+            self.counter.add_writes(moved + 1);
+            self.data.insert(pos, (k, v));
+        }
+    }
+
+    fn get(&self, k: u64) -> Option<u64> {
+        self.counter
+            .add_reads((self.data.len().max(1)).ilog2() as u64 + 1);
+        let pos = self.data.partition_point(|&(dk, _)| dk < k);
+        (pos < self.data.len() && self.data[pos].0 == k).then(|| self.data[pos].1)
+    }
+
+    fn delete(&mut self, k: u64) -> bool {
+        let pos = self.data.partition_point(|&(dk, _)| dk < k);
+        self.counter
+            .add_reads((self.data.len().max(1)).ilog2() as u64 + 1);
+        if pos < self.data.len() && self.data[pos].0 == k {
+            let moved = (self.data.len() - pos - 1) as u64;
+            self.counter.add_reads(moved);
+            self.counter.add_writes(moved);
+            self.data.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn main() {
+    let ops = 60_000usize;
+    let key_space = 20_000u64;
+    println!("update-heavy KV workload: {ops} ops over {key_space} keys\n");
+
+    let mut table = Table::new(
+        "write-efficient dictionary vs sorted-array store",
+        &["store", "reads/op", "writes/op", "cost/op @ omega=8", "cost/op @ omega=26"],
+    );
+
+    // Run the identical op stream through both stores.
+    let dict_counter = MemCounter::new();
+    let array_counter = MemCounter::new();
+    let mut dict = RamDictionary::new(dict_counter.clone());
+    let mut array = SortedArrayStore::new(array_counter.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    for _ in 0..ops {
+        let k = rng.gen_range(0..key_space);
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let v = rng.gen_range(0..1_000_000);
+                dict.insert(k, v);
+                array.put(k, v);
+            }
+            5 => {
+                let a = dict.remove(k).is_some();
+                let b = array.delete(k);
+                assert_eq!(a, b, "stores must agree on deletions");
+            }
+            _ => {
+                assert_eq!(dict.get(k), array.get(k), "stores must agree on reads");
+            }
+        }
+    }
+    for (name, c) in [("rb-dictionary", &dict_counter), ("sorted-array", &array_counter)] {
+        let per = |x: u64| x as f64 / ops as f64;
+        table.row(&[
+            name.to_string(),
+            f3(per(c.reads())),
+            f3(per(c.writes())),
+            f2(per(CostModel::new(8).cost_of(c))),
+            f2(per(CostModel::new(26).cost_of(c))),
+        ]);
+    }
+    println!("{table}");
+    println!("every answer was cross-checked between the two stores during the run;");
+    println!("the dictionary's O(1) writes/op is what survives an omega = 26 memory.");
+}

@@ -1,0 +1,74 @@
+//! Dense linear algebra with expensive writes: §5.3 matrix multiplication.
+//!
+//! ```text
+//! cargo run --release --example matrix_pipeline
+//! ```
+//!
+//! One step of a dense pipeline (C = A·B) executed four ways on the
+//! asymmetric ideal-cache simulator: the naive triple loop, the EM blocked
+//! algorithm (Theorem 5.2), the standard 4-way cache-oblivious recursion,
+//! and the paper's ω²-way recursion with randomized first round
+//! (Theorem 5.3). All four produce identical numerical results; the I/O
+//! table shows who pays reads and who pays ω-weighted writebacks.
+
+use asym_core::co::matmul::{host_matmul, mm_co_4way, mm_co_asym, mm_em_blocked, mm_naive};
+use asym_model::table::Table;
+use cache_sim::{CacheConfig, PolicyChoice, SimArray, Tracker};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 128usize;
+    let omega = 16u64;
+    let (m_cells, b_cells) = (2048usize, 16usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let a_host: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b_host: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let reference = host_matmul(&a_host, &b_host, n);
+    println!("C = A x B at n={n} on a simulated cache (M={m_cells}, B={b_cells}, omega={omega})\n");
+
+    let mut table = Table::new(
+        "matrix multiplication I/O under LRU",
+        &["algorithm", "loads", "writebacks", "cost", "max |err|"],
+    );
+    type MmFn<'a> = &'a dyn Fn(&SimArray<f64>, &SimArray<f64>, &mut SimArray<f64>);
+    let mut run = |name: &str, f: MmFn| {
+        let cfg = CacheConfig::new(m_cells, b_cells, omega);
+        let t = Tracker::new(cfg, PolicyChoice::Lru);
+        let a = SimArray::from_vec(&t, a_host.clone());
+        let b = SimArray::from_vec(&t, b_host.clone());
+        let mut c = SimArray::filled(&t, n * n, 0.0);
+        f(&a, &b, &mut c);
+        t.flush();
+        let s = t.stats();
+        let err = c
+            .peek_slice()
+            .iter()
+            .zip(&reference)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-9, "{name} numerical mismatch");
+        table.row(&[
+            name.to_string(),
+            s.loads.to_string(),
+            s.writebacks.to_string(),
+            s.cost(omega).to_string(),
+            format!("{err:.1e}"),
+        ]);
+    };
+
+    run("naive", &|a, b, c| mm_naive(a, b, c, n));
+    let tile = ((m_cells / 3) as f64).sqrt() as usize;
+    let tile = (1..=tile).rev().find(|t| n.is_multiple_of(*t)).expect("divisor");
+    run("em-blocked", &|a, b, c| mm_em_blocked(a, b, c, n, tile));
+    run("co-4way", &|a, b, c| mm_co_4way(a, b, c, n));
+    run("co-asym (det)", &|a, b, c| {
+        mm_co_asym(a, b, c, n, omega as usize, None)
+    });
+    run("co-asym (rand)", &|a, b, c| {
+        let mut r = rand::rngs::StdRng::seed_from_u64(11);
+        mm_co_asym(a, b, c, n, omega as usize, Some(&mut r))
+    });
+    println!("{table}");
+    println!("the omega^2-way recursion keeps each C block resident across its omega");
+    println!("sequential sub-products, so dirty evictions fall versus the 4-way split.");
+}

@@ -1,0 +1,69 @@
+//! Spectral analysis on NVM: the §5.2 write-efficient FFT.
+//!
+//! ```text
+//! cargo run --release --example signal_fft
+//! ```
+//!
+//! A synthetic two-tone signal is transformed with the standard six-step
+//! cache-oblivious FFT and the paper's asymmetric variant (brute-force
+//! ω-point column DFTs). Both run against the simulated LRU cache; the
+//! asymmetric variant trades ~ω× reads in the brute-force stage for fewer
+//! recursion levels and therefore fewer dirty writebacks. The detected
+//! spectral peaks confirm both transforms compute the same DFT.
+
+use asym_core::co::{fft, Cplx, FftVariant};
+use asym_model::table::Table;
+use cache_sim::{CacheConfig, PolicyChoice, SimArray, Tracker};
+use std::f64::consts::PI;
+
+fn main() {
+    let n = 1 << 16;
+    let omega = 16usize;
+    let (f1, f2) = (1234usize, 9876usize);
+    let signal: Vec<Cplx> = (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            Cplx::new(
+                (2.0 * PI * f1 as f64 * x).sin() + 0.5 * (2.0 * PI * f2 as f64 * x).sin(),
+                0.0,
+            )
+        })
+        .collect();
+    println!("transforming a {n}-point two-tone signal (tones at bins {f1} and {f2})\n");
+
+    let mut table = Table::new(
+        "six-step FFT on the asymmetric ideal cache (M=256, B=8)",
+        &["variant", "loads", "writebacks", "cost(omega=16)", "peak bins"],
+    );
+    for (name, variant, w) in [
+        ("standard", FftVariant::Standard, 1usize),
+        ("asymmetric", FftVariant::Asymmetric, omega),
+    ] {
+        let cfg = CacheConfig::new(256, 8, omega as u64);
+        let t = Tracker::new(cfg, PolicyChoice::Lru);
+        let mut a = SimArray::from_vec(&t, signal.clone());
+        fft(&mut a, 0, n, variant, w, 64);
+        t.flush();
+        let s = t.stats();
+        // Find the two dominant positive-frequency bins.
+        let mut mags: Vec<(usize, f64)> = (1..n / 2)
+            .map(|i| {
+                let v = a.peek(i);
+                (i, (v.re * v.re + v.im * v.im).sqrt())
+            })
+            .collect();
+        mags.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite"));
+        let mut peaks = [mags[0].0, mags[1].0];
+        peaks.sort_unstable();
+        assert_eq!(peaks, [f1, f2], "{name}: wrong spectral peaks");
+        table.row(&[
+            name.to_string(),
+            s.loads.to_string(),
+            s.writebacks.to_string(),
+            s.cost(omega as u64).to_string(),
+            format!("{} {}", peaks[0], peaks[1]),
+        ]);
+    }
+    println!("{table}");
+    println!("both variants find the same tones; the asymmetric one pays reads to save writes.");
+}

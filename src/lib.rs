@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the full workspace API. See README.md.
+pub use asym_core as core;
+pub use asym_model as model;
+pub use cache_sim;
+pub use em_sim;
+pub use wd_sim;

@@ -1,0 +1,100 @@
+//! Theorem 3.2 work-depth shape and the §2 scheduler-bound simulation,
+//! exercised end to end across `asym-core`, `wd-sim`, and `asym-model`.
+
+use asym_core::pram::{pram_merge_sort, pram_sample_sort, prefix_sums};
+use asym_model::workload::Workload;
+use rand::SeedableRng;
+use wd_sim::{simulate_work_stealing, time_on, Cost, Task};
+
+#[test]
+fn theorem_3_2_work_shape() {
+    let omega = 8u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for e in [11u32, 13, 15] {
+        let n = 1usize << e;
+        let input = Workload::UniformRandom.generate(n, e as u64);
+        let (_, report) = pram_sample_sort(&input, omega, &mut rng, true);
+        let nf = n as f64;
+        rows.push((
+            n,
+            report.total.reads as f64 / (nf * nf.log2()),
+            report.total.writes as f64 / nf,
+        ));
+    }
+    // reads/(n lg n) and writes/n must both be ~flat.
+    let (_, r0, w0) = rows[0];
+    let (_, r2, w2) = rows[rows.len() - 1];
+    assert!(r2 < r0 * 1.5, "reads/(n lg n) drifting: {r0:.2} -> {r2:.2}");
+    assert!(w2 < w0 * 1.5, "writes/n drifting: {w0:.2} -> {w2:.2}");
+}
+
+#[test]
+fn brents_theorem_on_measured_costs() {
+    let omega = 8u64;
+    let input = Workload::UniformRandom.generate(1 << 12, 3);
+    let (_, cost) = pram_merge_sort(&input, omega);
+    let t1 = time_on(cost, 1, omega);
+    let t64 = time_on(cost, 64, omega);
+    let tinf = time_on(cost, u64::MAX, omega);
+    assert!(t64 < t1 / 16, "64 processors should give large speedup");
+    assert_eq!(tinf, cost.depth + 1, "infinite processors leave the depth");
+}
+
+#[test]
+fn prefix_sum_depth_composes_with_sorting() {
+    // Sequential composition: depths add; parallel: max. Verify on a
+    // two-phase computation.
+    let omega = 4u64;
+    let xs = vec![1u64; 4096];
+    let (_, scan) = prefix_sums(&xs, omega);
+    let input = Workload::UniformRandom.generate(4096, 5);
+    let (_, sort) = pram_merge_sort(&input, omega);
+    let seq = scan.then(sort);
+    let par = scan.par(sort);
+    assert_eq!(seq.depth, scan.depth + sort.depth);
+    assert_eq!(par.depth, scan.depth.max(sort.depth));
+    assert_eq!(seq.reads, par.reads);
+    assert_eq!(seq.writes, par.writes);
+    assert_eq!(Cost::ZERO.then(scan), scan);
+}
+
+#[test]
+fn steal_count_scales_with_p_times_depth() {
+    let task = Task::balanced(256, 32, 1);
+    let d = task.depth();
+    for p in [4usize, 16] {
+        let mut total = 0u64;
+        let trials = 6;
+        for seed in 0..trials {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            total += simulate_work_stealing(&task, p, &mut rng).steals;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            mean <= 4.0 * p as f64 * d as f64,
+            "p={p}: mean steals {mean} beyond 4pD"
+        );
+    }
+}
+
+#[test]
+fn private_cache_bound_qp_from_steals() {
+    // Qp <= Q1 + 2(M/B) * steals: the asymmetric charge per steal. Verify
+    // the additive term stays a small fraction of Q1 for realistic shapes.
+    let task = Task::balanced(512, 128, 1);
+    let p = 8usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let s = simulate_work_stealing(&task, p, &mut rng);
+    let (m, b) = (1024u64, 16u64);
+    let q1 = task.work() / b; // a scan-like Q1 baseline
+    let extra = 2 * (m / b) * s.steals;
+    // The bound itself:
+    let bound = q1 + extra;
+    assert!(bound >= q1);
+    // And the steal-derived term is O(p * D * M/B):
+    assert!(
+        extra <= 4 * p as u64 * task.depth() * m / b,
+        "extra {extra} beyond O(pDM/B)"
+    );
+}

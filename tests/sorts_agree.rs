@@ -1,0 +1,165 @@
+//! End-to-end agreement: every sorting algorithm in the workspace, on every
+//! workload, produces the same answer as the standard library sort.
+
+use asym_core::co::{co_asym_sort, co_mergesort};
+use asym_core::em::{aem_heapsort, aem_mergesort, aem_samplesort};
+use asym_core::em::{mergesort_slack, pq::pq_slack, samplesort_slack};
+use asym_core::par::par_sample_sort;
+use asym_core::pram::pram_sample_sort;
+use asym_core::ram::tree_sort::tree_sort;
+use asym_model::record::assert_sorted_permutation;
+use asym_model::workload::Workload;
+use asym_model::Record;
+use cache_sim::{SimArray, Tracker};
+use em_sim::{EmConfig, EmMachine, EmVec};
+use rand::SeedableRng;
+
+fn all_inputs() -> Vec<(String, Vec<Record>)> {
+    let mut inputs = Vec::new();
+    for wl in Workload::ALL {
+        for n in [257usize, 1000] {
+            inputs.push((format!("{}:{}", wl.name(), n), wl.generate(n, 0xBEEF)));
+        }
+    }
+    inputs
+}
+
+#[test]
+fn ram_tree_sort_agrees() {
+    for (name, input) in all_inputs() {
+        let out = tree_sort(&input);
+        assert_sorted_permutation(&input, &out);
+        let _ = name;
+    }
+}
+
+#[test]
+fn pram_sample_sort_agrees() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for (name, input) in all_inputs() {
+        for step6 in [false, true] {
+            let (out, report) = pram_sample_sort(&input, 8, &mut rng, step6);
+            assert_sorted_permutation(&input, &out);
+            assert!(report.total.depth > 0, "{name}");
+        }
+    }
+}
+
+#[test]
+fn aem_mergesort_agrees() {
+    let (m, b) = (32usize, 4usize);
+    for k in [1usize, 2, 4] {
+        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
+        for (name, input) in all_inputs() {
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_mergesort(&em, v, k).expect("sort");
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            sorted.free(&em);
+            assert_eq!(em.live_blocks(), 0, "{name}: leaked disk blocks");
+        }
+    }
+}
+
+#[test]
+fn aem_samplesort_agrees() {
+    let (m, b) = (32usize, 4usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for k in [1usize, 3] {
+        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(samplesort_slack(m, b, k)));
+        for (_, input) in all_inputs() {
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_samplesort(&em, v, k, &mut rng).expect("sort");
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            sorted.free(&em);
+        }
+    }
+}
+
+#[test]
+fn aem_heapsort_agrees() {
+    let (m, b) = (16usize, 2usize);
+    for k in [1usize, 2] {
+        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
+        for (_, input) in all_inputs() {
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_heapsort(&em, v, k).expect("sort");
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            sorted.free(&em);
+        }
+    }
+}
+
+#[test]
+fn cache_oblivious_sorts_agree() {
+    for (_, input) in all_inputs() {
+        let t = Tracker::null();
+        let mut a = SimArray::from_vec(&t, input.clone());
+        co_mergesort(&mut a, 0, input.len());
+        assert_sorted_permutation(&input, a.peek_slice());
+
+        for omega in [1usize, 4, 16] {
+            let t = Tracker::null();
+            let mut a = SimArray::from_vec(&t, input.clone());
+            co_asym_sort(&mut a, 0, input.len(), omega, 64);
+            assert_sorted_permutation(&input, a.peek_slice());
+        }
+    }
+}
+
+#[test]
+fn threaded_sort_agrees() {
+    for (_, input) in all_inputs() {
+        for threads in [2usize, 4] {
+            let out = par_sample_sort(&input, threads, 77);
+            assert_sorted_permutation(&input, &out);
+        }
+    }
+}
+
+#[test]
+fn all_sorts_agree_pairwise_on_one_input() {
+    // One shared input through every algorithm; all outputs must be equal.
+    let input = Workload::UniformRandom.generate(1200, 0xABCD);
+    let mut expect = input.clone();
+    expect.sort();
+
+    assert_eq!(tree_sort(&input), expect);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    assert_eq!(pram_sample_sort(&input, 4, &mut rng, true).0, expect);
+
+    let (m, b, k) = (32usize, 4usize, 2usize);
+    let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
+    let v = EmVec::stage(&em, &input);
+    assert_eq!(
+        aem_mergesort(&em, v, k)
+            .expect("merge")
+            .read_all_uncharged(&em),
+        expect
+    );
+
+    let em2 = EmMachine::new(EmConfig::new(m, b, 8).with_slack(samplesort_slack(m, b, k)));
+    let v = EmVec::stage(&em2, &input);
+    assert_eq!(
+        aem_samplesort(&em2, v, k, &mut rng)
+            .expect("sample")
+            .read_all_uncharged(&em2),
+        expect
+    );
+
+    let em3 = EmMachine::new(EmConfig::new(16, 2, 8).with_slack(pq_slack(16, 2, 1)));
+    let v = EmVec::stage(&em3, &input);
+    assert_eq!(
+        aem_heapsort(&em3, v, 1)
+            .expect("heap")
+            .read_all_uncharged(&em3),
+        expect
+    );
+
+    let t = Tracker::null();
+    let mut a = SimArray::from_vec(&t, input.clone());
+    co_asym_sort(&mut a, 0, input.len(), 8, 64);
+    assert_eq!(a.peek_slice(), expect.as_slice());
+
+    assert_eq!(par_sample_sort(&input, 4, 5), expect);
+}
