@@ -56,7 +56,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut pq_table = Table::new(
         "E0b: write-efficient priority queue vs binary heap (n inserts + n delete-mins)",
-        &["n", "tree writes/op", "heap writes/op", "tree reads/op", "heap reads/op"],
+        &[
+            "n",
+            "tree writes/op",
+            "heap writes/op",
+            "tree reads/op",
+            "heap reads/op",
+        ],
     );
     for e in [10u32, scale.pick(12, 14, 16)] {
         let n = 1usize << e;

@@ -33,7 +33,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut t = Table::new(
         format!("E11: CO matmul variants (n={n}, M={m} cells, B={b}, omega={omega})"),
-        &["algorithm", "loads", "writebacks", "cost", "write saving vs 4-way"],
+        &[
+            "algorithm",
+            "loads",
+            "writebacks",
+            "cost",
+            "write saving vs 4-way",
+        ],
     );
     let s4 = measure(&|a, bm, c| mm_co_4way(a, bm, c, n));
     t.row(&[

@@ -60,7 +60,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     // why a shared cache of M + p*B*D suffices for Qp <= Q1.
     let mut pdf = Table::new(
         format!("E12b: parallel-depth-first schedule (work={w}, depth={d})"),
-        &["p", "time", "max premature leaves", "p*D bound", "premature/(p*D)"],
+        &[
+            "p",
+            "time",
+            "max premature leaves",
+            "p*D bound",
+            "premature/(p*D)",
+        ],
     );
     for p in [2usize, 4, 8, 16, 32] {
         let s = simulate_pdf(&task, p);

@@ -69,7 +69,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut omegas = Table::new(
         "E1c: depth scaling with omega (fixed n)",
-        &["omega", "depth", "depth/omega", "buckets", "max final bucket"],
+        &[
+            "omega",
+            "depth",
+            "depth/omega",
+            "buckets",
+            "max final bucket",
+        ],
     );
     let n = 1usize << scale.pick(11, 14, 16);
     let input = Workload::UniformRandom.generate(n, 3);

@@ -11,7 +11,13 @@ use asym_model::workload::Workload;
 use em_sim::{EmConfig, EmMachine, EmVec};
 
 /// Run one sort, returning (reads, writes, cost).
-fn measure(m: usize, b: usize, omega: u64, k: usize, input: &[asym_model::Record]) -> (u64, u64, u64) {
+fn measure(
+    m: usize,
+    b: usize,
+    omega: u64,
+    k: usize,
+    input: &[asym_model::Record],
+) -> (u64, u64, u64) {
     let em = EmMachine::new(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
     let v = EmVec::stage(&em, input);
     let sorted = aem_mergesort(&em, v, k).expect("sort");
@@ -63,7 +69,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
     // Table 2: the Corollary 4.4 / Appendix A sweep across omega.
     let mut sweep = Table::new(
         format!("E3b: I/O cost R + omega*W vs k (M={m}, B={b}, n={n})"),
-        &["omega", "k", "reads", "writes", "cost", "vs classic", "in Cor4.4 region"],
+        &[
+            "omega",
+            "k",
+            "reads",
+            "writes",
+            "cost",
+            "vs classic",
+            "in Cor4.4 region",
+        ],
     );
     for omega in [4u64, 8, 16] {
         let classic = measure(m, b, omega, 1, &input).2;
@@ -89,7 +103,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
     // after Lemma 4.1: "this will double the number of writes").
     let mut ablation = Table::new(
         format!("E3c: pointer-placement ablation (M={m}, B={b}, n={n}, omega=8)"),
-        &["k", "writes (ptrs in memory)", "writes (ptrs on disk)", "ratio"],
+        &[
+            "k",
+            "writes (ptrs in memory)",
+            "writes (ptrs on disk)",
+            "ratio",
+        ],
     );
     for k in [2usize, 4, 8] {
         let (_, w_mem, _) = measure(m, b, 8, k, &input);

@@ -12,7 +12,16 @@ use em_sim::{EmConfig, EmMachine, EmVec};
 pub fn run(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "E4: Lemma 4.2 exact bounds (reads <= passes*(n/B), writes == n/B)",
-        &["M", "B", "n", "passes", "reads", "read bound", "writes", "exact?"],
+        &[
+            "M",
+            "B",
+            "n",
+            "passes",
+            "reads",
+            "read bound",
+            "writes",
+            "exact?",
+        ],
     );
     let shapes: &[(usize, usize)] = &[(32, 4), (64, 8), (128, 16), (256, 16)];
     let factor = scale.pick(2usize, 5, 9);

@@ -80,12 +80,21 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    per_op.note("formula columns omit the theorem's hidden constants; scaling in k and B is the claim");
+    per_op.note(
+        "formula columns omit the theorem's hidden constants; scaling in k and B is the claim",
+    );
 
     // Table 2: heapsort totals vs mergesort (same asymptotics claim).
     let mut totals = Table::new(
         format!("E6b: heapsort vs mergesort totals (M={m}, B={b}, n={n}, omega=8)"),
-        &["k", "heap reads", "heap writes", "heap cost", "merge cost", "heap/merge"],
+        &[
+            "k",
+            "heap reads",
+            "heap writes",
+            "heap cost",
+            "merge cost",
+            "heap/merge",
+        ],
     );
     let input = Workload::UniformRandom.generate(n, 0x6E);
     for k in [1usize, 2, 4] {

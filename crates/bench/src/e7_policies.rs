@@ -35,7 +35,12 @@ fn record_trace(name: &str, n: usize, scale: Scale) -> (String, Vec<(u32, bool)>
     (format!("{name}(n={n})"), t.take_trace())
 }
 
-fn replay(policy: PolicyChoice, blocks: usize, b: usize, trace: &[(u32, bool)]) -> cache_sim::CacheStats {
+fn replay(
+    policy: PolicyChoice,
+    blocks: usize,
+    b: usize,
+    trace: &[(u32, bool)],
+) -> cache_sim::CacheStats {
     let t = Tracker::new(CacheConfig::new(blocks * b, b, 8), policy);
     for &(blk, w) in trace {
         t.access(blk as usize * b, w);
@@ -85,7 +90,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
     // Ablation: how should a fixed budget of 2*M_L blocks be split between
     // the read and write pools? The paper uses equal pools; sweep the ratio.
     let mut split = Table::new(
-        format!("E7b: pool-split ablation at total {} blocks (omega={omega})", 2 * m_l),
+        format!(
+            "E7b: pool-split ablation at total {} blocks (omega={omega})",
+            2 * m_l
+        ),
         &["trace", "1:7", "1:3", "1:1", "3:1", "7:1"],
     );
     for name in ["co-sort", "mergesort", "fft"] {

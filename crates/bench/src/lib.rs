@@ -13,6 +13,9 @@
 use asym_model::table::Table;
 
 pub mod e0_ram_sort;
+pub mod e10_matmul_em;
+pub mod e11_matmul_co;
+pub mod e12_scheduler;
 pub mod e1_pram_sort;
 pub mod e2_partition;
 pub mod e3_mergesort;
@@ -22,9 +25,6 @@ pub mod e6_heapsort;
 pub mod e7_policies;
 pub mod e8_co_sort;
 pub mod e9_fft;
-pub mod e10_matmul_em;
-pub mod e11_matmul_co;
-pub mod e12_scheduler;
 
 /// Experiment sweep sizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

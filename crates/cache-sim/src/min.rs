@@ -26,7 +26,11 @@ const NEVER: u64 = u64::MAX;
 /// including a final flush of dirty blocks.
 ///
 /// Each trace element is `(block, is_write)`.
-pub fn simulate_min(trace: &[(u32, bool)], capacity_blocks: usize, variant: MinVariant) -> CacheStats {
+pub fn simulate_min(
+    trace: &[(u32, bool)],
+    capacity_blocks: usize,
+    variant: MinVariant,
+) -> CacheStats {
     assert!(capacity_blocks >= 1);
     // Precompute, for each access, the position of the next access to the
     // same block (NEVER if none).
@@ -130,7 +134,11 @@ mod tests {
             lru.access(b, w);
         }
         lru.flush();
-        assert!(min.loads < lru.stats().loads, "MIN {min:?} vs LRU {:?}", lru.stats());
+        assert!(
+            min.loads < lru.stats().loads,
+            "MIN {min:?} vs LRU {:?}",
+            lru.stats()
+        );
     }
 
     #[test]

@@ -208,7 +208,10 @@ mod tests {
         t.access(base, false);
         t.access(base + 5, true);
         let trace = t.take_trace();
-        assert_eq!(trace, vec![(base as u32 / 4, false), (base as u32 / 4 + 1, true)]);
+        assert_eq!(
+            trace,
+            vec![(base as u32 / 4, false), (base as u32 / 4 + 1, true)]
+        );
         assert!(t.take_trace().is_empty(), "trace was taken");
     }
 

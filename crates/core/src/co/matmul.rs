@@ -140,7 +140,10 @@ pub fn mm_co_asym(
     rng: Option<&mut StdRng>,
 ) {
     assert!(n.is_power_of_two(), "n must be a power of two");
-    assert!(omega.is_power_of_two() && omega >= 2, "omega must be 2^k >= 2");
+    assert!(
+        omega.is_power_of_two() && omega >= 2,
+        "omega must be 2^k >= 2"
+    );
     let (va, vb, vc) = (
         View { off: 0, stride: n },
         View { off: 0, stride: n },
@@ -229,7 +232,10 @@ mod tests {
     }
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn run_variant(

@@ -51,12 +51,20 @@ fn transpose_rec<T: Copy>(
     }
     if h >= w {
         let mid = r0 + h / 2;
-        transpose_rec(src, src_off, src_stride, dst, dst_off, dst_stride, r0, mid, c0, c1);
-        transpose_rec(src, src_off, src_stride, dst, dst_off, dst_stride, mid, r1, c0, c1);
+        transpose_rec(
+            src, src_off, src_stride, dst, dst_off, dst_stride, r0, mid, c0, c1,
+        );
+        transpose_rec(
+            src, src_off, src_stride, dst, dst_off, dst_stride, mid, r1, c0, c1,
+        );
     } else {
         let mid = c0 + w / 2;
-        transpose_rec(src, src_off, src_stride, dst, dst_off, dst_stride, r0, r1, c0, mid);
-        transpose_rec(src, src_off, src_stride, dst, dst_off, dst_stride, r0, r1, mid, c1);
+        transpose_rec(
+            src, src_off, src_stride, dst, dst_off, dst_stride, r0, r1, c0, mid,
+        );
+        transpose_rec(
+            src, src_off, src_stride, dst, dst_off, dst_stride, r0, r1, mid, c1,
+        );
     }
 }
 

@@ -504,7 +504,10 @@ impl BufferTree {
                 last = Some(r);
                 w.push(&self.machine, r);
             }
-            out.push((last.expect("non-empty piece"), w.finish_on(&self.machine, true)));
+            out.push((
+                last.expect("non-empty piece"),
+                w.finish_on(&self.machine, true),
+            ));
         }
         drop(reader);
         merged.free(&self.machine);
@@ -513,7 +516,11 @@ impl BufferTree {
 
     /// Replace child `old` of its parent with `replacements` (in key order),
     /// splitting ancestors whose child counts exceed l.
-    fn replace_in_parent(&mut self, old: NodeId, replacements: Vec<(Record, NodeId)>) -> Result<()> {
+    fn replace_in_parent(
+        &mut self,
+        old: NodeId,
+        replacements: Vec<(Record, NodeId)>,
+    ) -> Result<()> {
         let parent = self.find_parent(self.root, old);
         match parent {
             None => {
@@ -1006,7 +1013,8 @@ impl RunWriter {
         self.buf.push(r);
         self.len += 1;
         if self.buf.len() == self.b {
-            self.blocks.push(machine.append_block(std::mem::take(&mut self.buf)));
+            self.blocks
+                .push(machine.append_block(std::mem::take(&mut self.buf)));
             self.buf = Vec::with_capacity(self.b);
         }
     }

@@ -234,7 +234,8 @@ impl AemPriorityQueue {
         self.len += 1;
         let alpha_max = self.alpha.last().copied();
         let everything_small = self.beta.valid == 0 && self.tree.is_empty();
-        if alpha_max.map_or(everything_small, |am| r < am) || (everything_small && !self.alpha_is_full())
+        if alpha_max.map_or(everything_small, |am| r < am)
+            || (everything_small && !self.alpha_is_full())
         {
             // r belongs in (or below) the α range.
             self.alpha.insert(r);
@@ -301,9 +302,7 @@ impl AemPriorityQueue {
         if self.beta.valid > 0 {
             let count = self.alpha_cap.min(self.beta.valid);
             let lease = self.machine.m() / 4;
-            let batch = self
-                .beta
-                .extract_smallest(&self.machine, count, lease)?;
+            let batch = self.beta.extract_smallest(&self.machine, count, lease)?;
             for r in batch {
                 self.alpha.insert(r);
             }

@@ -107,7 +107,11 @@ mod tests {
     #[test]
     fn respects_lemma_4_2_bounds_exactly() {
         // n <= kM sorted with <= ceil(n/M)*ceil(n/B) reads and ceil(n/B) writes.
-        let cases = [(64usize, 8usize, 3usize, 150usize), (32, 4, 4, 128), (16, 4, 2, 17)];
+        let cases = [
+            (64usize, 8usize, 3usize, 150usize),
+            (32, 4, 4, 128),
+            (16, 4, 2, 17),
+        ];
         for (m, b, k, n) in cases {
             let em = machine(m, b, 4);
             let input = Workload::UniformRandom.generate(n, 7);

@@ -1,7 +1,6 @@
 //! Threaded splitter-based sample sort.
 
 use asym_model::Record;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -68,8 +67,6 @@ pub fn par_sample_sort(input: &[Record], threads: usize, seed: u64) -> Vec<Recor
     debug_assert_eq!(acc, n);
 
     // Phase 4: parallel scatter into disjoint slices of one output vector.
-    let out: Vec<Mutex<()>> = Vec::new(); // no locking needed: slices are disjoint
-    drop(out);
     let mut output: Vec<Record> = vec![Record::default(); n];
     {
         // Split the output into raw disjoint cells via unsafe-free approach:

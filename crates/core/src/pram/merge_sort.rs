@@ -61,9 +61,7 @@ pub fn par_merge(a: &[Record], b: &[Record], omega: u64) -> (Vec<Record>, Cost) 
         let target = (t * total / chunks).min(total);
         let (ai, bi) = merge_path_split(a, b, target);
         // Each split is two binary searches' worth of reads.
-        split_costs.push(Cost::reads(
-            2 * ((total.max(2)).ilog2() as u64 + 1),
-        ));
+        split_costs.push(Cost::reads(2 * ((total.max(2)).ilog2() as u64 + 1)));
         // Sequential two-pointer merge of the chunk.
         let (alo, blo) = prev;
         let (mut i, mut j) = (alo, blo);

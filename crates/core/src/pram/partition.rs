@@ -130,7 +130,11 @@ mod tests {
 
     #[test]
     fn buckets_are_ordered_and_conserve_records() {
-        for wl in [Workload::UniformRandom, Workload::Reversed, Workload::Sorted] {
+        for wl in [
+            Workload::UniformRandom,
+            Workload::Reversed,
+            Workload::Sorted,
+        ] {
             let input = wl.generate(2000, 7);
             let (buckets, _, stats) = lemma31_partition(&input, 4);
             assert_eq!(stats.buckets, buckets.len());

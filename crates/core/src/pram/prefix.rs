@@ -77,7 +77,11 @@ mod tests {
         let (_, cost) = prefix_sums(&xs, omega);
         let n = xs.len() as u64;
         assert!(cost.reads <= 8 * n, "reads {} should be O(n)", cost.reads);
-        assert!(cost.writes <= 4 * n, "writes {} should be O(n)", cost.writes);
+        assert!(
+            cost.writes <= 4 * n,
+            "writes {} should be O(n)",
+            cost.writes
+        );
         // Depth ~ levels * (strand of ~3 ops with one omega-write each).
         let levels = 13u64;
         assert!(

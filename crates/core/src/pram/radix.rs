@@ -101,7 +101,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let n = 5000;
         let keys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..64)).collect();
-        let items: Vec<Record> = (0..n).map(|i| Record::new(keys[i] as u64, i as u64)).collect();
+        let items: Vec<Record> = (0..n)
+            .map(|i| Record::new(keys[i] as u64, i as u64))
+            .collect();
         let (out, _) = pram_radix_sort_by(&keys, &items, 4);
         // Sorted by key, and stable (payload ascending within equal keys).
         assert!(out

@@ -219,9 +219,14 @@ pub fn pram_sample_sort(
         bucket_costs.push(bucket_cost);
     }
     let step67 = Cost::par_all(bucket_costs);
-    report
-        .steps
-        .push((if use_step6 { "6+7:subsort" } else { "7:bucket-sort" }, step67));
+    report.steps.push((
+        if use_step6 {
+            "6+7:subsort"
+        } else {
+            "7:bucket-sort"
+        },
+        step67,
+    ));
     report.max_final_bucket = max_final;
 
     report.total = Cost::seq_all(report.steps.iter().map(|&(_, c)| c));

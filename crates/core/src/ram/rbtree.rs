@@ -171,7 +171,11 @@ impl RbTree {
             if key == k {
                 return false;
             }
-            let next = if key < k { self.left(cur) } else { self.right(cur) };
+            let next = if key < k {
+                self.left(cur)
+            } else {
+                self.right(cur)
+            };
             if next == NIL {
                 break;
             }
@@ -346,7 +350,11 @@ impl RbTree {
             if key == k {
                 return true;
             }
-            cur = if key < k { self.left(cur) } else { self.right(cur) };
+            cur = if key < k {
+                self.left(cur)
+            } else {
+                self.right(cur)
+            };
         }
         false
     }
@@ -420,7 +428,11 @@ impl RbTree {
                 break;
             }
             path.push(cur);
-            cur = if key < k { self.left(cur) } else { self.right(cur) };
+            cur = if key < k {
+                self.left(cur)
+            } else {
+                self.right(cur)
+            };
         }
         if cur == NIL {
             return false;

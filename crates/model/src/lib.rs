@@ -19,15 +19,15 @@
 //! and the PRAM work-depth framework in `wd-sim`. All of them express their
 //! tallies as [`CostReport`]s so experiments can compare across models.
 
-pub mod counters;
 pub mod cost;
+pub mod counters;
 pub mod record;
 pub mod stats;
 pub mod table;
 pub mod workload;
 
-pub use counters::{CountedCell, CountedSlice, CountedVec, MemCounter};
 pub use cost::{CostModel, CostReport};
+pub use counters::{CountedCell, CountedSlice, CountedVec, MemCounter};
 pub use record::{Record, MAX_KEY};
 
 /// Crate-wide result alias (used by substrates that can fault, e.g. when an

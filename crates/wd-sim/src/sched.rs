@@ -540,7 +540,14 @@ pub fn simulate_pdf(task: &Task, p: usize) -> PdfStats {
                 let mut next = complete_pdf(&arena, &mut join_remaining, node, &mut done);
                 while let Some(nx) = next.take() {
                     let mut pe: Vec<usize> = Vec::new();
-                    activate_pdf(&arena, &mut join_remaining, &seq_of, &mut ready, &mut pe, nx);
+                    activate_pdf(
+                        &arena,
+                        &mut join_remaining,
+                        &seq_of,
+                        &mut ready,
+                        &mut pe,
+                        nx,
+                    );
                     while let Some(x) = pe.pop() {
                         if let Some(further) =
                             complete_pdf(&arena, &mut join_remaining, x, &mut done)

@@ -75,7 +75,13 @@ fn main() {
 
     let mut table = Table::new(
         "write-efficient dictionary vs sorted-array store",
-        &["store", "reads/op", "writes/op", "cost/op @ omega=8", "cost/op @ omega=26"],
+        &[
+            "store",
+            "reads/op",
+            "writes/op",
+            "cost/op @ omega=8",
+            "cost/op @ omega=26",
+        ],
     );
 
     // Run the identical op stream through both stores.
@@ -102,7 +108,10 @@ fn main() {
             }
         }
     }
-    for (name, c) in [("rb-dictionary", &dict_counter), ("sorted-array", &array_counter)] {
+    for (name, c) in [
+        ("rb-dictionary", &dict_counter),
+        ("sorted-array", &array_counter),
+    ] {
         let per = |x: u64| x as f64 / ops as f64;
         table.row(&[
             name.to_string(),

@@ -58,7 +58,10 @@ fn main() {
 
     run("naive", &|a, b, c| mm_naive(a, b, c, n));
     let tile = ((m_cells / 3) as f64).sqrt() as usize;
-    let tile = (1..=tile).rev().find(|t| n.is_multiple_of(*t)).expect("divisor");
+    let tile = (1..=tile)
+        .rev()
+        .find(|t| n.is_multiple_of(*t))
+        .expect("divisor");
     run("em-blocked", &|a, b, c| mm_em_blocked(a, b, c, n, tile));
     run("co-4way", &|a, b, c| mm_co_4way(a, b, c, n));
     run("co-asym (det)", &|a, b, c| {

@@ -14,8 +14,8 @@
 use asym_core::em::{
     aem_heapsort, aem_mergesort, aem_samplesort, mergesort_slack, pq::pq_slack, samplesort_slack,
 };
-use asym_model::workload::Workload;
 use asym_model::table::{f2, Table};
+use asym_model::workload::Workload;
 use em_sim::{EmConfig, EmMachine, EmVec};
 use rand::SeedableRng;
 
@@ -33,7 +33,14 @@ fn main() {
 
     let mut table = Table::new(
         "projected PCM sort cost (16 ns reads / 416 ns writes per record)",
-        &["algorithm", "k", "block reads", "block writes", "I/O cost", "device ms"],
+        &[
+            "algorithm",
+            "k",
+            "block reads",
+            "block writes",
+            "I/O cost",
+            "device ms",
+        ],
     );
 
     let mut run = |name: &str, k: usize, f: &dyn Fn(&EmMachine, EmVec, usize) -> EmVec| {
@@ -45,9 +52,9 @@ fn main() {
         let sorted = f(&em, v, k);
         assert_eq!(sorted.len(), n, "{name} must sort every row");
         let s = em.stats();
-        let ms =
-            (s.block_reads as f64 * READ_NS_PER_BLOCK + s.block_writes as f64 * WRITE_NS_PER_BLOCK)
-                / 1e6;
+        let ms = (s.block_reads as f64 * READ_NS_PER_BLOCK
+            + s.block_writes as f64 * WRITE_NS_PER_BLOCK)
+            / 1e6;
         table.row(&[
             name.to_string(),
             k.to_string(),

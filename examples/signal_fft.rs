@@ -33,7 +33,13 @@ fn main() {
 
     let mut table = Table::new(
         "six-step FFT on the asymmetric ideal cache (M=256, B=8)",
-        &["variant", "loads", "writebacks", "cost(omega=16)", "peak bins"],
+        &[
+            "variant",
+            "loads",
+            "writebacks",
+            "cost(omega=16)",
+            "peak bins",
+        ],
     );
     for (name, variant, w) in [
         ("standard", FftVariant::Standard, 1usize),

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! A real — if statistically unsophisticated — wall-clock harness: each
+//! benchmark is warmed up for `warm_up_time`, then timed for `sample_size`
+//! samples, and min / mean / max per-iteration times are printed. The API
+//! mirrors the subset of criterion 0.5 this workspace uses, so swapping in
+//! the registry crate requires no benchmark-code changes.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `new("sort", 1024)` displays as `sort/1024`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times a closure over warmup + measurement phases.
+pub struct Bencher {
+    warm_up: Duration,
+    samples: usize,
+    /// (min, mean, max) per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Benchmark `f`, storing min/mean/max per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Batch size chosen so each sample is long enough to time reliably.
+        let per_iter = if warm_iters == 0 {
+            self.warm_up
+        } else {
+            self.warm_up / warm_iters as u32
+        };
+        let batch = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).max(1);
+        let (mut min, mut max, mut total) = (Duration::MAX, Duration::ZERO, Duration::ZERO);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let sample = start.elapsed() / batch as u32;
+            min = min.min(sample);
+            max = max.max(sample);
+            total += sample;
+        }
+        self.result = Some((min, total / self.samples as u32, max));
+    }
+}
+
+/// A named collection of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    #[allow(dead_code)]
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warmup duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's measurement length is
+    /// `sample_size` samples of an adaptively chosen batch size.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.name, b.result);
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        self.report(name, b.result);
+        self
+    }
+
+    fn report(&mut self, name: &str, result: Option<(Duration, Duration, Duration)>) {
+        match result {
+            Some((min, mean, max)) => println!(
+                "{}/{:<40} min {:>12.3?}   mean {:>12.3?}   max {:>12.3?}",
+                self.name, name, min, mean, max
+            ),
+            None => println!("{}/{:<40} (no iterations run)", self.name, name),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// End the group (prints a trailing newline, like criterion's summary).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Start a named benchmark group with default settings.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Expands to a runner function invoking each benchmark fn with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running every group (CLI args from `cargo bench`
+/// are ignored, as the shim has no filtering).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim-test");
+            g.sample_size(3).warm_up_time(Duration::from_millis(1));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("sort", 1024).to_string(), "sort/1024");
+    }
+}

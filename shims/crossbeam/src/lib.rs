@@ -1,0 +1,69 @@
+//! Offline stand-in for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Provides only `crossbeam::scope`, delegating to [`std::thread::scope`]
+//! (stable since Rust 1.63, which post-dates crossbeam's scoped threads).
+//! Differences from the real crate: the closure passed to [`Scope::spawn`]
+//! receives `()` instead of a nested scope handle (no caller here nests
+//! spawns), and a panicking child thread propagates its panic out of
+//! [`scope`] rather than being captured in the returned `Result` — callers
+//! that `.expect()` the `Ok` observe the same behavior either way.
+
+use std::any::Any;
+use std::thread;
+
+/// Result type of [`scope`], mirroring `crossbeam::thread::ScopedThreadBuilder`.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A handle for spawning threads that may borrow from the enclosing scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure's argument is a placeholder for
+    /// the real crate's nested-scope handle and is always `()` here.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Run `f` with a scope handle; all threads it spawns are joined before
+/// `scope` returns (exactly the contract of `crossbeam::scope`).
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_can_borrow_and_mutate_disjointly() {
+        let mut data = vec![0u32; 4];
+        let chunks: Vec<&mut [u32]> = data.chunks_mut(1).collect();
+        scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| chunk[0] = i as u32 * 10);
+            }
+        })
+        .expect("scope");
+        assert_eq!(data, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().expect("join") * 2
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+}

@@ -176,7 +176,10 @@ fn writes_decrease_monotonically_in_level_count() {
         let sorted = aem_mergesort(&em, v, k).expect("sort");
         sorted.free(&em);
         let w = em.stats().block_writes;
-        assert!(w <= last, "writes must not increase with k: {w} after {last}");
+        assert!(
+            w <= last,
+            "writes must not increase with k: {w} after {last}"
+        );
         last = w;
     }
 }

@@ -12,10 +12,7 @@ use proptest::prelude::*;
 
 fn record_vec(max_len: usize) -> impl Strategy<Value = Vec<Record>> {
     prop::collection::vec((0u64..1000, 0u64..1_000_000), 0..max_len).prop_map(|pairs| {
-        let mut v: Vec<Record> = pairs
-            .into_iter()
-            .map(|(k, p)| Record::new(k, p))
-            .collect();
+        let mut v: Vec<Record> = pairs.into_iter().map(|(k, p)| Record::new(k, p)).collect();
         // Unique records (the paper's convention).
         v.sort();
         v.dedup();

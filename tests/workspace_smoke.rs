@@ -1,0 +1,41 @@
+//! Workspace wiring smoke test: every umbrella re-export must resolve and
+//! expose its headline types, so a manifest regression (dropped dependency,
+//! renamed lib target) fails here before anything subtler does.
+
+#[test]
+fn umbrella_reexports_resolve() {
+    // asym_sort::model — the shared cost substrate.
+    let cost = asym_sort::model::CostModel::new(8);
+    assert_eq!(cost.omega, 8);
+    let counter = asym_sort::model::MemCounter::new();
+    assert_eq!((counter.reads(), counter.writes()), (0, 0));
+    let r = asym_sort::model::Record::keyed(1);
+    assert!(r <= asym_sort::model::Record::keyed(2));
+
+    // asym_sort::core — one entry point per machine model.
+    let input = asym_sort::model::workload::Workload::UniformRandom.generate(512, 7);
+    let sorted = asym_sort::core::ram::tree_sort::tree_sort(&input);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let par = asym_sort::core::par::par_sample_sort(&input, 2, 3);
+    assert_eq!(par, sorted);
+
+    // asym_sort::em_sim — the AEM machine charges reads 1 and writes omega.
+    let em = asym_sort::em_sim::EmMachine::new(asym_sort::em_sim::EmConfig::new(64, 8, 5));
+    em.charge_reads(3);
+    em.charge_writes(2);
+    assert_eq!(em.io_cost(), 3 + 5 * 2);
+
+    // asym_sort::cache_sim — tracker counts accesses under LRU.
+    let t = asym_sort::cache_sim::Tracker::new(
+        asym_sort::cache_sim::CacheConfig::new(64, 8, 5),
+        asym_sort::cache_sim::PolicyChoice::Lru,
+    );
+    t.access(0, false);
+    t.flush();
+    assert_eq!(t.stats().accesses, 1);
+
+    // asym_sort::wd_sim — the work-depth algebra composes.
+    let c = asym_sort::wd_sim::Cost::default();
+    let seq = c.then(asym_sort::wd_sim::Cost::default());
+    assert_eq!(seq.depth, 0);
+}
