@@ -1,0 +1,160 @@
+//! sim-throughput — records/sec through the `EmMachine` simulator itself.
+//!
+//! Where the `tables` bench measures *modeled* transfer counts, this target
+//! measures how fast the simulator executes them: the arena-backed disk and
+//! buffer-reusing cursors are the hot path under every experiment table, so
+//! their wall-clock throughput caps the problem sizes the k/ω sweeps can
+//! tabulate. Workloads:
+//!
+//! * `raw-stream` — stage → `EmReader` → `EmWriter` copy (pure simulator
+//!   overhead, no algorithm);
+//! * `e3-mergesort-k{1,4,16}` — the Algorithm 2 mergesort (exercises the
+//!   flat merge queue);
+//! * `e5-samplesort-k4` — the §4.2 distribution sort (exercises the bucket
+//!   writers).
+//!
+//! ```text
+//! cargo bench -p asym-bench --bench sim_throughput              # + BENCH_sim.json
+//! cargo bench -p asym-bench --bench sim_throughput -- --json out.json
+//! ASYM_BENCH_SCALE=smoke cargo bench -p asym-bench --bench sim_throughput
+//! ```
+//!
+//! Each run emits a `BENCH_sim.json` bench report (see `asym_bench::json`)
+//! with one records/sec entry per workload, which CI uploads as an artifact
+//! so the perf trajectory of the simulator is tracked per commit.
+
+use asym_bench::json::{json_path_from_args, BenchReport};
+use asym_bench::Scale;
+use asym_core::em::mergesort::mergesort_slack;
+use asym_core::em::samplesort::samplesort_slack;
+use asym_core::em::{aem_mergesort, aem_samplesort};
+use asym_model::workload::Workload;
+use asym_model::Record;
+use criterion::{BenchmarkId, Criterion};
+use em_sim::{EmConfig, EmMachine, EmVec, EmWriter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Machine geometry shared by every workload (matches the E3 tables).
+const M: usize = 64;
+const B: usize = 8;
+const OMEGA: u64 = 8;
+
+/// One simulator workload: stable id, records per run, and a runner that
+/// executes one full pass over a fresh machine.
+struct Case {
+    id: &'static str,
+    n: usize,
+    run: Box<dyn Fn()>,
+}
+
+fn cases(scale: Scale) -> Vec<Case> {
+    let n_raw = scale.pick(100_000usize, 2_000_000, 10_000_000);
+    let n_sort = scale.pick(20_000usize, 200_000, 1_000_000);
+    let mut cases = vec![raw_stream_case(n_raw)];
+    for k in [1usize, 4, 16] {
+        cases.push(mergesort_case(k, n_sort));
+    }
+    cases.push(samplesort_case(4, n_sort));
+    cases
+}
+
+/// Stage n records and stream them reader → writer: the pure cursor path.
+fn raw_stream_case(n: usize) -> Case {
+    let input: Vec<Record> = Workload::UniformRandom.generate(n, 0x5EED);
+    Case {
+        id: "raw-stream",
+        n,
+        run: Box::new(move || {
+            let em = EmMachine::new(EmConfig::new(M, B, OMEGA));
+            let v = EmVec::stage(&em, &input);
+            let mut w = EmWriter::new(&em).expect("writer lease");
+            let mut r = v.reader(&em).expect("reader lease");
+            while let Some(x) = r.next() {
+                w.push(x);
+            }
+            drop(r);
+            let out = w.finish();
+            assert_eq!(out.len(), n);
+        }),
+    }
+}
+
+fn mergesort_case(k: usize, n: usize) -> Case {
+    let input: Vec<Record> = Workload::UniformRandom.generate(n, 0xE3);
+    let id: &'static str = match k {
+        1 => "e3-mergesort-k1",
+        4 => "e3-mergesort-k4",
+        16 => "e3-mergesort-k16",
+        _ => unreachable!("fixed k sweep"),
+    };
+    Case {
+        id,
+        n,
+        run: Box::new(move || {
+            let em =
+                EmMachine::new(EmConfig::new(M, B, OMEGA).with_slack(mergesort_slack(M, B, k)));
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_mergesort(&em, v, k).expect("mergesort");
+            assert_eq!(sorted.len(), n);
+        }),
+    }
+}
+
+fn samplesort_case(k: usize, n: usize) -> Case {
+    let input: Vec<Record> = Workload::UniformRandom.generate(n, 0xE5);
+    Case {
+        id: "e5-samplesort-k4",
+        n,
+        run: Box::new(move || {
+            let em =
+                EmMachine::new(EmConfig::new(M, B, OMEGA).with_slack(samplesort_slack(M, B, k)));
+            let v = EmVec::stage(&em, &input);
+            let mut rng = StdRng::seed_from_u64(0xE5);
+            let sorted = aem_samplesort(&em, v, k, &mut rng).expect("samplesort");
+            assert_eq!(sorted.len(), n);
+        }),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Default to the workspace root (cargo runs benches from the package
+    // dir), so `BENCH_sim.json` lands next to README.md unless overridden.
+    let default_json = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let json_path = json_path_from_args(std::env::args().skip(1), default_json);
+    let cases = cases(scale);
+
+    // Criterion wall-clock display (min/mean/max per run).
+    let mut c = Criterion::default();
+    {
+        let mut group = c.benchmark_group("sim-throughput");
+        group
+            .sample_size(scale.pick(3, 5, 5))
+            .warm_up_time(Duration::from_millis(scale.pick(50, 300, 300)));
+        for case in &cases {
+            group.bench_with_input(BenchmarkId::new(case.id, case.n), &(), |b, ()| {
+                b.iter(|| (case.run)())
+            });
+        }
+        group.finish();
+    }
+
+    // One clean timed run per workload feeds the JSON report.
+    let mut report = BenchReport::new("sim-throughput", scale.name());
+    for case in &cases {
+        let start = Instant::now();
+        (case.run)();
+        let secs = start.elapsed().as_secs_f64();
+        report.push(case.id, case.n as u64, secs);
+    }
+    report.write_to(&json_path).expect("write bench json");
+    println!("wrote bench report to {}", json_path.display());
+    for e in report.entries() {
+        println!(
+            "{:<18} {:>10} records in {:>9.4}s  ->  {:>12.0} records/sec",
+            e.id, e.records, e.seconds, e.records_per_sec
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal JSON bench-report emitter (no external dependencies).
+//!
+//! Perf-trajectory tracking writes one `BENCH_*.json` file per bench target
+//! so successive runs (locally or as CI artifacts) can be diffed and
+//! plotted. The format is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "name": "sim-throughput",
+//!   "scale": "smoke",
+//!   "entries": [
+//!     { "id": "raw-stream", "records": 50000, "seconds": 0.0042,
+//!       "records_per_sec": 11904761.9 }
+//!   ]
+//! }
+//! ```
+//!
+//! Bench binaries accept `--json <path>` (after `cargo bench ... --`) to
+//! choose the output file; see [`json_path_from_args`].
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One measured workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Stable workload identifier (e.g. `e3-mergesort-k4`).
+    pub id: String,
+    /// Records processed by one run.
+    pub records: u64,
+    /// Wall-clock seconds for one run.
+    pub seconds: f64,
+    /// Throughput: `records / seconds`.
+    pub records_per_sec: f64,
+}
+
+/// A bench report: a named set of throughput measurements at one scale.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    name: String,
+    scale: String,
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report for bench target `name` at `scale`.
+    pub fn new(name: impl Into<String>, scale: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            scale: scale.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record one measurement (throughput is derived).
+    pub fn push(&mut self, id: impl Into<String>, records: u64, seconds: f64) {
+        let records_per_sec = if seconds > 0.0 {
+            records as f64 / seconds
+        } else {
+            0.0
+        };
+        self.entries.push(BenchEntry {
+            id: id.into(),
+            records,
+            seconds,
+            records_per_sec,
+        });
+    }
+
+    /// The measurements recorded so far.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Render the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": {},\n", quote(&self.name)));
+        out.push_str(&format!("  \"scale\": {},\n", quote(&self.scale)));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"id\": {}, \"records\": {}, \"seconds\": {}, \"records_per_sec\": {} }}{}\n",
+                quote(&e.id),
+                e.records,
+                number(e.seconds),
+                number(e.records_per_sec),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// JSON string literal (the ids and names used here never need exotic
+/// escapes, but quote and backslash are handled for safety).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite JSON number (non-finite values degrade to 0, which JSON cannot
+/// represent otherwise).
+fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Scan CLI args for `--json <path>` (cargo passes everything after `--` to
+/// the bench binary). Returns `default` when the flag is absent.
+pub fn json_path_from_args(args: impl Iterator<Item = String>, default: &str) -> PathBuf {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            if let Some(p) = args.next() {
+                return PathBuf::from(p);
+            }
+        }
+    }
+    PathBuf::from(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_flat_json() {
+        let mut r = BenchReport::new("sim-throughput", "smoke");
+        r.push("raw-stream", 1000, 0.5);
+        r.push("e3-mergesort-k1", 2000, 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"sim-throughput\""));
+        assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"id\": \"raw-stream\""));
+        assert!(json.contains("\"records_per_sec\": 2000.000000"));
+        // Zero-duration run degrades to zero throughput, not inf/NaN.
+        assert!(json.contains("\"records_per_sec\": 0.000000"));
+        // Exactly one comma between the two entries.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn json_flag_is_parsed_with_default_fallback() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            json_path_from_args(
+                args(&["--bench", "--json", "out.json"]).into_iter(),
+                "d.json"
+            ),
+            PathBuf::from("out.json")
+        );
+        assert_eq!(
+            json_path_from_args(args(&["--bench"]).into_iter(), "d.json"),
+            PathBuf::from("d.json")
+        );
+        assert_eq!(
+            json_path_from_args(args(&["--json"]).into_iter(), "d.json"),
+            PathBuf::from("d.json")
+        );
+    }
+
+    #[test]
+    fn write_to_creates_the_file() {
+        let mut r = BenchReport::new("t", "smoke");
+        r.push("case", 10, 0.1);
+        let path = std::env::temp_dir().join("asym_bench_json_test.json");
+        r.write_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, r.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,6 +12,8 @@
 
 use asym_model::table::Table;
 
+pub mod json;
+
 pub mod e0_ram_sort;
 pub mod e10_matmul_em;
 pub mod e11_matmul_co;
@@ -53,6 +55,15 @@ impl Scale {
             Scale::Smoke => smoke,
             Scale::Standard => standard,
             Scale::Full => full,
+        }
+    }
+
+    /// The scale's lowercase name (as accepted by `ASYM_BENCH_SCALE`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Standard => "standard",
+            Scale::Full => "full",
         }
     }
 }

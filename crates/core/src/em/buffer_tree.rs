@@ -55,11 +55,13 @@ impl Run {
         }
     }
 
-    /// Charged sequential read of all records.
+    /// Charged sequential read of all records (one reused load buffer).
     fn read_all(&self, machine: &EmMachine) -> Result<Vec<Record>> {
         let mut out = Vec::with_capacity(self.len);
+        let mut buf = Vec::with_capacity(machine.b());
         for &b in &self.blocks {
-            out.extend(machine.read_block(b)?);
+            machine.read_block_into(b, &mut buf)?;
+            out.extend_from_slice(&buf);
         }
         out.truncate(self.len);
         Ok(out)
@@ -140,6 +142,7 @@ impl BufferTree {
             kind: NodeKind::Leaf { data: Run::empty() },
             buffer: Buffer::default(),
         };
+        let root_tail = Vec::with_capacity(machine.b());
         Ok(Self {
             machine,
             l,
@@ -148,7 +151,7 @@ impl BufferTree {
             free_ids: Vec::new(),
             root: 0,
             len: 0,
-            root_tail: Vec::new(),
+            root_tail,
         })
     }
 
@@ -220,10 +223,10 @@ impl BufferTree {
         if self.root_tail.is_empty() {
             return Ok(());
         }
-        let recs = std::mem::take(&mut self.root_tail);
-        let len = recs.len();
-        let sorted = recs.windows(2).all(|w| w[0] <= w[1]);
-        let block = self.machine.append_block(recs);
+        let len = self.root_tail.len();
+        let sorted = self.root_tail.windows(2).all(|w| w[0] <= w[1]);
+        let block = self.machine.append_block_from(&self.root_tail);
+        self.root_tail.clear();
         let run = Run {
             blocks: vec![block],
             len,
@@ -853,15 +856,14 @@ impl BufferTree {
         for run in &node.buffer.runs {
             for &b in &run.blocks {
                 let blk = self.machine.peek_block(b).expect("live block");
-                let take = blk.len();
-                out.extend_from_slice(&blk[..take]);
+                out.extend_from_slice(&blk);
             }
         }
         // Runs store exact lengths; partial blocks are exact by construction.
         match &node.kind {
             NodeKind::Leaf { data } => {
                 for &b in &data.blocks {
-                    out.extend(self.machine.peek_block(b).expect("live block"));
+                    out.extend_from_slice(&self.machine.peek_block(b).expect("live block"));
                 }
             }
             NodeKind::Internal { children, .. } => {
@@ -897,11 +899,10 @@ impl BufferTree {
                         self.cap
                     );
                 }
-                let recs: Vec<Record> = data
-                    .blocks
-                    .iter()
-                    .flat_map(|&b| self.machine.peek_block(b).expect("live"))
-                    .collect();
+                let mut recs: Vec<Record> = Vec::with_capacity(data.len);
+                for &b in &data.blocks {
+                    recs.extend_from_slice(&self.machine.peek_block(b).expect("live"));
+                }
                 assert!(recs.windows(2).all(|w| w[0] <= w[1]), "leaf unsorted");
                 for r in &recs {
                     if let Some(lo) = lo {
@@ -958,7 +959,7 @@ impl<'a> RunsReader<'a> {
             runs,
             run_idx: 0,
             block_idx: 0,
-            buf: Vec::new(),
+            buf: Vec::with_capacity(machine.b()),
             buf_pos: 0,
             remaining_in_run: runs.first().map_or(0, Run::len),
         }
@@ -979,7 +980,8 @@ impl<'a> RunsReader<'a> {
             }
             if self.buf_pos == self.buf.len() {
                 let run = &self.runs[self.run_idx];
-                self.buf = self.machine.read_block(run.blocks[self.block_idx])?;
+                self.machine
+                    .read_block_into(run.blocks[self.block_idx], &mut self.buf)?;
                 self.block_idx += 1;
                 self.buf_pos = 0;
             }
@@ -1013,16 +1015,14 @@ impl RunWriter {
         self.buf.push(r);
         self.len += 1;
         if self.buf.len() == self.b {
-            self.blocks
-                .push(machine.append_block(std::mem::take(&mut self.buf)));
-            self.buf = Vec::with_capacity(self.b);
+            self.blocks.push(machine.append_block_from(&self.buf));
+            self.buf.clear();
         }
     }
 
     fn finish_on(mut self, machine: &EmMachine, sorted: bool) -> Run {
         if !self.buf.is_empty() {
-            self.blocks
-                .push(machine.append_block(std::mem::take(&mut self.buf)));
+            self.blocks.push(machine.append_block_from(&self.buf));
         }
         Run {
             blocks: std::mem::take(&mut self.blocks),

@@ -1,0 +1,391 @@
+//! The bounded flat merge queue backing Algorithm 2's in-memory priority
+//! queue.
+//!
+//! Each merge round needs four operations on the set of ≤ M candidate
+//! records: *peek-max* (to reject phase-1 records that cannot matter this
+//! round), *pop-max* (to eject the largest entry when a smaller one arrives
+//! into a full queue), *push*, and *pop-min* (the phase-2 drain). The seed
+//! implementation used a `BTreeMap<Record, Mark>`, which allocates a node
+//! per insert and chases pointers on every operation — and dominated the
+//! simulator's wall-clock. This module replaces it with an **interval heap**
+//! (a min-max heap) laid out flat in one `Vec`: pairs of adjacent slots form
+//! nodes whose low ends are a min-heap and high ends a max-heap, giving O(1)
+//! peeks at both extremes and O(log n) pushes and pops of either end with no
+//! per-entry allocation.
+//!
+//! The queue stores `(Record, T)` entries ordered by record only. Records
+//! are assumed unique (the paper's convention; generators tie-break with the
+//! position index), which makes every drain and ejection decision — and
+//! hence every modeled block transfer — identical to the `BTreeMap`
+//! implementation's.
+
+use asym_model::Record;
+
+/// A bounded double-ended priority queue over `(Record, T)` entries, laid
+/// out as a flat interval heap.
+///
+/// Invariants on the backing array: slots `2i` and `2i+1` form node `i` with
+/// `entries[2i] <= entries[2i+1]`; the even (low) slots form a min-heap and
+/// the odd (high) slots a max-heap; every node's interval is contained in
+/// its parent's. The final node may hold a single entry.
+#[derive(Debug)]
+pub struct FlatMergeQueue<T> {
+    entries: Vec<(Record, T)>,
+    cap: usize,
+}
+
+impl<T: Copy> FlatMergeQueue<T> {
+    /// An empty queue that will hold at most `cap` entries. The backing
+    /// storage is allocated once, up front.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fixed capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The smallest record, in O(1).
+    pub fn peek_min(&self) -> Option<Record> {
+        self.entries.first().map(|e| e.0)
+    }
+
+    /// The largest record, in O(1).
+    pub fn peek_max(&self) -> Option<Record> {
+        match self.entries.len() {
+            0 => None,
+            1 => Some(self.entries[0].0),
+            _ => Some(self.entries[1].0),
+        }
+    }
+
+    /// Insert an entry. Panics if the queue is full (Algorithm 2 always
+    /// ejects before inserting into a full queue).
+    pub fn push(&mut self, rec: Record, payload: T) {
+        assert!(self.entries.len() < self.cap, "merge queue overfull");
+        self.entries.push((rec, payload));
+        let i = self.entries.len() - 1;
+        if i == 0 {
+            return;
+        }
+        if i % 2 == 1 {
+            // Completes node i/2: order the pair, then repair whichever side
+            // the new entry may have pushed out of its parent's interval.
+            if self.entries[i - 1].0 > self.entries[i].0 {
+                self.entries.swap(i - 1, i);
+            }
+            self.sift_up_min(i - 1);
+            self.sift_up_max(i);
+        } else {
+            // New singleton node: it acts as both ends of its own interval.
+            self.sift_up_min(i);
+            self.sift_up_max(i);
+        }
+    }
+
+    /// Remove and return the smallest entry.
+    pub fn pop_min(&mut self) -> Option<(Record, T)> {
+        let n = self.entries.len();
+        if n == 0 {
+            return None;
+        }
+        if n <= 2 {
+            // A single node: slot 0 is the minimum; slot 1 (if any) shifts
+            // down into it.
+            return Some(self.entries.swap_remove(0));
+        }
+        let min = self.entries[0];
+        let mut x = self.entries.pop().expect("non-empty");
+        let n = self.entries.len();
+        // Trickle the displaced last entry down the min (even) layer: at
+        // each node the smaller child low end moves up into the hole; if the
+        // in-hand entry exceeds that child's high end, they swap and the old
+        // high end continues down in hand.
+        let mut hole = 0usize;
+        loop {
+            let node = hole / 2;
+            let left_lo = 2 * (2 * node + 1);
+            let right_lo = 2 * (2 * node + 2);
+            if left_lo >= n {
+                break;
+            }
+            let mut c_lo = left_lo;
+            if right_lo < n && self.entries[right_lo].0 < self.entries[left_lo].0 {
+                c_lo = right_lo;
+            }
+            if x.0 <= self.entries[c_lo].0 {
+                break;
+            }
+            self.entries[hole] = self.entries[c_lo];
+            hole = c_lo;
+            if hole + 1 < n && x.0 > self.entries[hole + 1].0 {
+                std::mem::swap(&mut x, &mut self.entries[hole + 1]);
+            }
+        }
+        self.entries[hole] = x;
+        Some(min)
+    }
+
+    /// Remove and return the largest entry.
+    pub fn pop_max(&mut self) -> Option<(Record, T)> {
+        let n = self.entries.len();
+        if n <= 2 {
+            // The maximum is the last slot (slot 1 of node 0, or the lone
+            // entry).
+            return self.entries.pop();
+        }
+        let max = self.entries[1];
+        let mut x = self.entries.pop().expect("non-empty");
+        let n = self.entries.len();
+        // Trickle the displaced last entry down the max (odd) layer; a child
+        // node's maximum is its high slot, or its lone entry for a singleton.
+        // Symmetric to `pop_min`: the larger child maximum moves up into the
+        // hole, and if the in-hand entry is below that child's low end they
+        // swap and the old low end continues down in hand.
+        let mut hole = 1usize;
+        loop {
+            let node = hole / 2;
+            let (l, r) = (2 * node + 1, 2 * node + 2);
+            let l_max = Self::node_max_slot(l, n);
+            let r_max = Self::node_max_slot(r, n);
+            let c_max = match (l_max, r_max) {
+                (None, None) => break,
+                (Some(i), None) => i,
+                (None, Some(i)) => i,
+                (Some(i), Some(j)) => {
+                    if self.entries[i].0 >= self.entries[j].0 {
+                        i
+                    } else {
+                        j
+                    }
+                }
+            };
+            if x.0 >= self.entries[c_max].0 {
+                break;
+            }
+            self.entries[hole] = self.entries[c_max];
+            hole = c_max;
+            if hole % 2 == 1 && x.0 < self.entries[hole - 1].0 {
+                std::mem::swap(&mut x, &mut self.entries[hole - 1]);
+            }
+        }
+        self.entries[hole] = x;
+        Some(max)
+    }
+
+    /// The slot index of node `node`'s maximum, if the node exists: its high
+    /// slot, or its lone low slot for a trailing singleton.
+    fn node_max_slot(node: usize, n: usize) -> Option<usize> {
+        let lo = 2 * node;
+        if lo >= n {
+            None
+        } else if lo + 1 < n {
+            Some(lo + 1)
+        } else {
+            Some(lo)
+        }
+    }
+
+    /// Bubble the entry at (even or singleton) slot `idx` up the min layer.
+    fn sift_up_min(&mut self, mut idx: usize) {
+        while idx >= 2 {
+            let node = idx / 2;
+            let parent_lo = 2 * ((node - 1) / 2);
+            if self.entries[idx].0 < self.entries[parent_lo].0 {
+                self.entries.swap(idx, parent_lo);
+                idx = parent_lo;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Bubble the entry at (odd or singleton) slot `idx` up the max layer.
+    fn sift_up_max(&mut self, mut idx: usize) {
+        while idx >= 2 {
+            let node = idx / 2;
+            let parent_hi = 2 * ((node - 1) / 2) + 1;
+            if self.entries[idx].0 > self.entries[parent_hi].0 {
+                self.entries.swap(idx, parent_hi);
+                idx = parent_hi;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Check the interval-heap invariants (test oracle).
+    #[cfg(test)]
+    fn validate(&self) {
+        let n = self.entries.len();
+        for node in 0.. {
+            let lo = 2 * node;
+            if lo >= n {
+                break;
+            }
+            let hi = if lo + 1 < n { lo + 1 } else { lo };
+            assert!(
+                self.entries[lo].0 <= self.entries[hi].0,
+                "node {node} interval inverted"
+            );
+            if node > 0 {
+                let p = (node - 1) / 2;
+                let p_lo = 2 * p;
+                let p_hi = 2 * p + 1;
+                assert!(
+                    self.entries[p_lo].0 <= self.entries[lo].0,
+                    "min-heap violated at node {node}"
+                );
+                assert!(
+                    self.entries[hi].0 <= self.entries[p_hi].0,
+                    "max-heap violated at node {node}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn rec(k: u64) -> Record {
+        Record::keyed(k)
+    }
+
+    #[test]
+    fn min_and_max_of_small_queues() {
+        let mut q: FlatMergeQueue<u32> = FlatMergeQueue::with_capacity(8);
+        assert_eq!(q.peek_min(), None);
+        assert_eq!(q.peek_max(), None);
+        assert_eq!(q.pop_min(), None);
+        assert_eq!(q.pop_max(), None);
+        q.push(rec(5), 0);
+        assert_eq!(q.peek_min(), Some(rec(5)));
+        assert_eq!(q.peek_max(), Some(rec(5)));
+        q.push(rec(3), 1);
+        assert_eq!(q.peek_min(), Some(rec(3)));
+        assert_eq!(q.peek_max(), Some(rec(5)));
+        assert_eq!(q.pop_max(), Some((rec(5), 0)));
+        assert_eq!(q.pop_min(), Some((rec(3), 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ascending_drain_matches_sorted_input() {
+        let mut q: FlatMergeQueue<usize> = FlatMergeQueue::with_capacity(64);
+        let keys = [9u64, 2, 40, 17, 1, 33, 25, 8, 16, 4];
+        for (i, &k) in keys.iter().enumerate() {
+            q.push(rec(k), i);
+            q.validate();
+        }
+        let mut drained = Vec::new();
+        while let Some((r, _)) = q.pop_min() {
+            q.validate();
+            drained.push(r.key);
+        }
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(drained, expect);
+    }
+
+    #[test]
+    fn descending_drain_matches_reverse_sorted_input() {
+        let mut q: FlatMergeQueue<usize> = FlatMergeQueue::with_capacity(64);
+        let keys = [9u64, 2, 40, 17, 1, 33, 25, 8, 16, 4];
+        for (i, &k) in keys.iter().enumerate() {
+            q.push(rec(k), i);
+        }
+        let mut drained = Vec::new();
+        while let Some((r, _)) = q.pop_max() {
+            q.validate();
+            drained.push(r.key);
+        }
+        let mut expect = keys.to_vec();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(drained, expect);
+    }
+
+    #[test]
+    fn payloads_travel_with_their_records() {
+        let mut q: FlatMergeQueue<&'static str> = FlatMergeQueue::with_capacity(4);
+        q.push(rec(2), "two");
+        q.push(rec(1), "one");
+        q.push(rec(3), "three");
+        assert_eq!(q.pop_min(), Some((rec(1), "one")));
+        assert_eq!(q.pop_max(), Some((rec(3), "three")));
+        assert_eq!(q.pop_min(), Some((rec(2), "two")));
+    }
+
+    #[test]
+    #[should_panic(expected = "overfull")]
+    fn push_beyond_capacity_panics() {
+        let mut q: FlatMergeQueue<u32> = FlatMergeQueue::with_capacity(2);
+        q.push(rec(1), 0);
+        q.push(rec(2), 0);
+        q.push(rec(3), 0);
+    }
+
+    /// Differential test against the `BTreeMap` the queue replaced: random
+    /// interleavings of push / pop-min / pop-max / peeks over unique records
+    /// must agree operation-for-operation.
+    #[test]
+    fn matches_btreemap_reference_under_random_interleavings() {
+        let mut rng = StdRng::seed_from_u64(0xF1A7);
+        for case in 0..200 {
+            let cap = rng.gen_range(1usize..48);
+            let mut q: FlatMergeQueue<u64> = FlatMergeQueue::with_capacity(cap);
+            let mut reference: BTreeMap<Record, u64> = BTreeMap::new();
+            let mut next_payload = 0u64;
+            for step in 0..400 {
+                let op = rng.gen_range(0u8..6);
+                match op {
+                    0 | 1 if reference.len() < cap => {
+                        // Unique records: random key, payload tie-break.
+                        let r = Record::new(rng.gen_range(0..1000), next_payload);
+                        next_payload += 1;
+                        if reference.contains_key(&r) {
+                            continue;
+                        }
+                        q.push(r, r.payload);
+                        reference.insert(r, r.payload);
+                    }
+                    2 => {
+                        let expect = reference.pop_first();
+                        assert_eq!(q.pop_min(), expect, "case {case} step {step} pop_min");
+                    }
+                    3 => {
+                        let expect = reference.pop_last();
+                        assert_eq!(q.pop_max(), expect, "case {case} step {step} pop_max");
+                    }
+                    4 => {
+                        assert_eq!(q.peek_min(), reference.first_key_value().map(|(r, _)| *r));
+                    }
+                    _ => {
+                        assert_eq!(q.peek_max(), reference.last_key_value().map(|(r, _)| *r));
+                    }
+                }
+                assert_eq!(q.len(), reference.len());
+                q.validate();
+            }
+        }
+    }
+}

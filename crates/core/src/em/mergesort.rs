@@ -30,11 +30,20 @@
 //!    the invariant that a round writes exactly the smallest remaining
 //!    records, and leaves the round's ≥ M output guarantee (and hence
 //!    Lemma 4.1's counting) intact.
+//!
+//! One implementation deviation (performance, not semantics): the paper's
+//! priority queue Q is realized as a [`FlatMergeQueue`] — a bounded flat
+//! interval heap — rather than the `BTreeMap<Record, Mark>` the seed used.
+//! Both expose peek-max / pop-max / push / pop-min over unique records, so
+//! every insertion, ejection, and drain decision (and therefore every
+//! modeled block transfer) is identical; the flat heap just does it without
+//! allocating a node per record. The golden-count tests in
+//! `tests/cost_golden.rs` pin this equivalence.
 
+use super::merge_queue::FlatMergeQueue;
 use super::selection::selection_sort;
 use asym_model::{ModelError, Record, Result};
 use em_sim::{EmMachine, EmVec, EmWriter};
-use std::collections::BTreeMap;
 
 /// Extra primary memory Algorithm 2 needs beyond M, in records: the load and
 /// store buffers (2B) plus the run pointers and last-in-block marks, which
@@ -125,25 +134,28 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
     };
     let mut writer = EmWriter::new(machine)?;
 
-    // In-memory priority queue: ordered map record -> provenance. In-memory
-    // operations are free in the model; only block transfers are charged.
-    let mut queue: BTreeMap<Record, Mark> = BTreeMap::new();
+    // In-memory priority queue: a bounded flat interval heap of capacity M
+    // (see the module docs). In-memory operations are free in the model;
+    // only block transfers are charged.
+    let mut queue: FlatMergeQueue<Mark> = FlatMergeQueue::with_capacity(m);
     // Per-run cursor: index of the current (not fully consumed) block.
     let mut next_block: Vec<usize> = vec![0; l];
+    // The shared load buffer, reused for every block read of the merge.
+    let mut load_buf: Vec<Record> = Vec::with_capacity(b);
     let mut last_v: Option<Record> = None;
     let mut written = 0usize;
 
-    // Load the current block of run `i` (into the leased load buffer) and
-    // insert its eligible records into the queue.
+    // Load the current block of run `i` (into the shared, reused load
+    // buffer) and insert its eligible records into the queue.
     #[allow(clippy::too_many_arguments)]
     fn do_process_block(
         machine: &EmMachine,
         runs: &[EmVec],
-        queue: &mut BTreeMap<Record, Mark>,
+        queue: &mut FlatMergeQueue<Mark>,
         next_block: &mut [usize],
+        load_buf: &mut Vec<Record>,
         last_v: &Option<Record>,
         bar: &mut Option<Record>,
-        m: usize,
         i: usize,
     ) -> Result<()> {
         let run = &runs[i];
@@ -151,9 +163,9 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
         if bi >= run.num_blocks() {
             return Ok(());
         }
-        let block = machine.read_block(run.block_ids()[bi])?;
-        let last_idx = block.len() - 1;
-        for (j, &e) in block.iter().enumerate() {
+        machine.read_block_into(run.block_ids()[bi], load_buf)?;
+        let last_idx = load_buf.len() - 1;
+        for (j, &e) in load_buf.iter().enumerate() {
             if let Some(lv) = last_v {
                 if e <= *lv {
                     continue; // already written in an earlier round
@@ -166,16 +178,16 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
                     continue;
                 }
             }
-            if queue.len() >= m {
-                let qmax = *queue.last_key_value().expect("non-empty").0;
+            if queue.len() >= queue.capacity() {
+                let qmax = queue.peek_max().expect("non-empty");
                 if e >= qmax {
                     *bar = Some(bar.map_or(e, |b| b.min(e)));
                     continue;
                 }
-                let (ejected, _) = queue.pop_last().expect("non-empty");
+                let (ejected, _) = queue.pop_max().expect("non-empty");
                 *bar = Some(bar.map_or(ejected, |b| b.min(ejected)));
             }
-            queue.insert(
+            queue.push(
                 e,
                 Mark {
                     run: i as u32,
@@ -196,9 +208,9 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
                 runs,
                 &mut queue,
                 &mut next_block,
+                &mut load_buf,
                 &last_v,
                 &mut bar,
-                m,
                 i,
             )?;
         }
@@ -207,7 +219,7 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
             "phase 1 must make progress"
         );
         // Phase 2: drain the queue, chasing block boundaries.
-        while let Some((e, mark)) = queue.pop_first() {
+        while let Some((e, mark)) = queue.pop_min() {
             writer.push(e);
             written += 1;
             last_v = Some(e);
@@ -224,9 +236,9 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
                     runs,
                     &mut queue,
                     &mut next_block,
+                    &mut load_buf,
                     &last_v,
                     &mut bar,
-                    m,
                     i,
                 )?;
             }

@@ -17,12 +17,14 @@
 
 pub mod buffer_tree;
 pub mod heapsort;
+pub mod merge_queue;
 pub mod mergesort;
 pub mod pq;
 pub mod samplesort;
 pub mod selection;
 
 pub use heapsort::aem_heapsort;
+pub use merge_queue::FlatMergeQueue;
 pub use mergesort::{aem_mergesort, mergesort_slack};
 pub use pq::AemPriorityQueue;
 pub use samplesort::{aem_samplesort, samplesort_slack};

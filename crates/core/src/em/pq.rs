@@ -66,7 +66,7 @@ impl BetaSet {
     fn new(machine: &EmMachine) -> Result<Self> {
         Ok(Self {
             blocks: Vec::new(),
-            tail: Vec::new(),
+            tail: Vec::with_capacity(machine.b()),
             appended: 0,
             valid: 0,
             max: None,
@@ -92,17 +92,19 @@ impl BetaSet {
         self.valid += 1;
         self.max = Some(self.max.map_or(r, |m| m.max(r)));
         if self.tail.len() == machine.b() {
-            self.blocks
-                .push(machine.append_block(std::mem::take(&mut self.tail)));
+            self.blocks.push(machine.append_block_from(&self.tail));
+            self.tail.clear();
         }
     }
 
     /// Scan all records (charged block reads), applying validity filtering;
-    /// calls `f(idx, record)` for each valid record.
+    /// calls `f(idx, record)` for each valid record. One load buffer is
+    /// reused across the scanned blocks.
     fn scan_valid(&self, machine: &EmMachine, mut f: impl FnMut(usize, Record)) -> Result<()> {
         let b = machine.b();
+        let mut block = Vec::with_capacity(b);
         for (bi, &blk) in self.blocks.iter().enumerate() {
-            let block = machine.read_block(blk)?;
+            machine.read_block_into(blk, &mut block)?;
             for (j, &r) in block.iter().enumerate() {
                 let idx = bi * b + j;
                 if self.is_valid(idx, r) {

@@ -223,16 +223,14 @@ fn partition(machine: &EmMachine, input: &EmVec, splitters: &EmVec) -> Result<Ve
             out.buf.push(r);
             out.len += 1;
             if out.buf.len() == b {
-                out.blocks
-                    .push(machine.append_block(std::mem::take(&mut out.buf)));
-                out.buf = Vec::with_capacity(b);
+                out.blocks.push(machine.append_block_from(&out.buf));
+                out.buf.clear();
             }
         }
         drop(reader);
         for mut out in outs {
             if !out.buf.is_empty() {
-                out.blocks
-                    .push(machine.append_block(std::mem::take(&mut out.buf)));
+                out.blocks.push(machine.append_block_from(&out.buf));
             }
             buckets.push(EmVec::from_blocks(out.blocks, out.len));
         }
@@ -250,17 +248,18 @@ fn partition(machine: &EmMachine, input: &EmVec, splitters: &EmVec) -> Result<Ve
 }
 
 /// Read records [lo, hi) of a disk array into memory (charged; caller holds
-/// the lease).
+/// the lease). One load buffer is reused across the scanned blocks.
 fn read_range(machine: &EmMachine, v: &EmVec, lo: usize, hi: usize) -> Result<Vec<Record>> {
     if lo >= hi {
         return Ok(Vec::new());
     }
     let b = machine.b();
     let mut out = Vec::with_capacity(hi - lo);
+    let mut block = Vec::with_capacity(b);
     let first_block = lo / b;
     let last_block = (hi - 1) / b;
     for bi in first_block..=last_block {
-        let block = machine.read_block(v.block_ids()[bi])?;
+        machine.read_block_into(v.block_ids()[bi], &mut block)?;
         for (j, &r) in block.iter().enumerate() {
             let idx = bi * b + j;
             if idx >= lo && idx < hi {
@@ -273,7 +272,8 @@ fn read_range(machine: &EmMachine, v: &EmVec, lo: usize, hi: usize) -> Result<Ve
 
 fn read_one(machine: &EmMachine, v: &EmVec, idx: usize) -> Result<Record> {
     let b = machine.b();
-    let block = machine.read_block(v.block_ids()[idx / b])?;
+    let mut block = Vec::with_capacity(b);
+    machine.read_block_into(v.block_ids()[idx / b], &mut block)?;
     Ok(block[idx % b])
 }
 

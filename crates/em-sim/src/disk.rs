@@ -1,4 +1,12 @@
-//! Secondary memory: an unbounded store of fixed-size blocks.
+//! Secondary memory: an unbounded store of fixed-size blocks, backed by one
+//! contiguous slab arena.
+//!
+//! Slot `i` owns the record range `data[i*B .. (i+1)*B]`; a parallel `lens`
+//! array records how many of those cells are live (the last block of an
+//! array may be partial). Released slots go on a free list and are reused by
+//! the next allocation, so a long-running simulation settles into a fixed
+//! arena with **zero per-block heap allocations**: every transfer is a
+//! `memcpy` into or out of the slab.
 
 use asym_model::{ModelError, Record, Result};
 
@@ -13,17 +21,24 @@ impl BlockId {
     }
 }
 
-/// One block: up to `B` records (the last block of an array may be partial).
-pub type Block = Vec<Record>;
+/// Length sentinel marking a released slot.
+const FREE: usize = usize::MAX;
 
 /// Unbounded secondary memory, block-granular.
 ///
 /// `Disk` does no cost accounting — that is [`super::EmMachine`]'s job. It
-/// only stores blocks and recycles freed slots.
+/// only stores blocks and recycles freed slots. All I/O-shaped methods take
+/// or fill caller-owned buffers; nothing on the transfer path allocates.
 #[derive(Debug, Default)]
 pub struct Disk {
-    slots: Vec<Option<Block>>,
+    /// The slab arena: slot `i` owns `data[i*B .. (i+1)*B]`.
+    data: Vec<Record>,
+    /// Live record count per slot (`FREE` marks a released slot).
+    lens: Vec<usize>,
+    /// Released slot indices awaiting reuse.
     free: Vec<usize>,
+    /// Allocated, unreleased slot count (kept so `live_blocks` is O(1)).
+    live: usize,
     block_size: usize,
 }
 
@@ -32,8 +47,10 @@ impl Disk {
     pub fn new(block_size: usize) -> Self {
         assert!(block_size >= 1, "block size must be positive");
         Self {
-            slots: Vec::new(),
+            data: Vec::new(),
+            lens: Vec::new(),
             free: Vec::new(),
+            live: 0,
             block_size,
         }
     }
@@ -43,43 +60,66 @@ impl Disk {
         self.block_size
     }
 
-    /// Store a new block, returning its id. Panics if the block is overfull.
-    pub fn alloc(&mut self, block: Block) -> BlockId {
+    /// Copy `records` into a fresh slot, returning its id. Panics if the
+    /// block is overfull.
+    pub fn alloc(&mut self, records: &[Record]) -> BlockId {
         assert!(
-            block.len() <= self.block_size,
+            records.len() <= self.block_size,
             "block of {} records exceeds B={}",
-            block.len(),
+            records.len(),
             self.block_size
         );
-        if let Some(slot) = self.free.pop() {
-            self.slots[slot] = Some(block);
-            BlockId(slot)
-        } else {
-            self.slots.push(Some(block));
-            BlockId(self.slots.len() - 1)
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = self.lens.len();
+                self.data
+                    .resize(self.data.len() + self.block_size, Record::default());
+                self.lens.push(FREE);
+                slot
+            }
+        };
+        let start = slot * self.block_size;
+        self.data[start..start + records.len()].copy_from_slice(records);
+        self.lens[slot] = records.len();
+        self.live += 1;
+        BlockId(slot)
+    }
+
+    /// Borrow a block's live records.
+    pub fn slice(&self, id: BlockId) -> Result<&[Record]> {
+        match self.lens.get(id.0) {
+            Some(&len) if len != FREE => {
+                let start = id.0 * self.block_size;
+                Ok(&self.data[start..start + len])
+            }
+            _ => Err(ModelError::BadBlock(id.0)),
         }
     }
 
-    /// Copy a block out of secondary memory.
-    pub fn read(&self, id: BlockId) -> Result<Block> {
-        self.slots
-            .get(id.0)
-            .and_then(|s| s.as_ref())
-            .cloned()
-            .ok_or(ModelError::BadBlock(id.0))
+    /// Copy a block out of secondary memory into `out` (cleared first). The
+    /// caller reuses `out` across reads, so the steady state allocates
+    /// nothing.
+    pub fn read_into(&self, id: BlockId, out: &mut Vec<Record>) -> Result<()> {
+        let src = self.slice(id)?;
+        out.clear();
+        out.extend_from_slice(src);
+        Ok(())
     }
 
-    /// Overwrite a block in place.
-    pub fn write(&mut self, id: BlockId, block: Block) -> Result<()> {
+    /// Overwrite a block in place from `records`.
+    pub fn write(&mut self, id: BlockId, records: &[Record]) -> Result<()> {
         assert!(
-            block.len() <= self.block_size,
+            records.len() <= self.block_size,
             "block of {} records exceeds B={}",
-            block.len(),
+            records.len(),
             self.block_size
         );
-        match self.slots.get_mut(id.0) {
-            Some(slot @ Some(_)) => {
-                *slot = Some(block);
+        match self.lens.get(id.0) {
+            Some(&len) if len != FREE => {
+                let start = id.0 * self.block_size;
+                self.data[start..start + records.len()].copy_from_slice(records);
+                self.lens[id.0] = records.len();
                 Ok(())
             }
             _ => Err(ModelError::BadBlock(id.0)),
@@ -88,10 +128,11 @@ impl Disk {
 
     /// Release a block's slot for reuse.
     pub fn release(&mut self, id: BlockId) -> Result<()> {
-        match self.slots.get_mut(id.0) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
+        match self.lens.get(id.0) {
+            Some(&len) if len != FREE => {
+                self.lens[id.0] = FREE;
                 self.free.push(id.0);
+                self.live -= 1;
                 Ok(())
             }
             _ => Err(ModelError::BadBlock(id.0)),
@@ -100,12 +141,17 @@ impl Disk {
 
     /// Number of live (allocated, unreleased) blocks.
     pub fn live_blocks(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.live
+    }
+
+    /// Total slots ever carved out of the arena (live + free).
+    pub fn slots(&self) -> usize {
+        self.lens.len()
     }
 
     /// Uncharged peek for test oracles.
-    pub fn peek(&self, id: BlockId) -> Option<&Block> {
-        self.slots.get(id.0).and_then(|s| s.as_ref())
+    pub fn peek(&self, id: BlockId) -> Option<&[Record]> {
+        self.slice(id).ok()
     }
 }
 
@@ -120,57 +166,87 @@ mod tests {
     #[test]
     fn alloc_read_write_roundtrip() {
         let mut d = Disk::new(4);
-        let id = d.alloc(vec![rec(1), rec(2)]);
-        assert_eq!(d.read(id).unwrap(), vec![rec(1), rec(2)]);
-        d.write(id, vec![rec(9)]).unwrap();
-        assert_eq!(d.read(id).unwrap(), vec![rec(9)]);
+        let id = d.alloc(&[rec(1), rec(2)]);
+        assert_eq!(d.slice(id).unwrap(), &[rec(1), rec(2)]);
+        let mut buf = Vec::new();
+        d.read_into(id, &mut buf).unwrap();
+        assert_eq!(buf, vec![rec(1), rec(2)]);
+        d.write(id, &[rec(9)]).unwrap();
+        d.read_into(id, &mut buf).unwrap();
+        assert_eq!(buf, vec![rec(9)]);
         assert_eq!(d.block_size(), 4);
+    }
+
+    #[test]
+    fn read_into_reuses_capacity() {
+        let mut d = Disk::new(4);
+        let a = d.alloc(&[rec(1), rec(2), rec(3), rec(4)]);
+        let b = d.alloc(&[rec(5)]);
+        let mut buf = Vec::with_capacity(4);
+        let ptr = buf.as_ptr();
+        d.read_into(a, &mut buf).unwrap();
+        d.read_into(b, &mut buf).unwrap();
+        assert_eq!(buf, vec![rec(5)]);
+        assert_eq!(ptr, buf.as_ptr(), "buffer must be reused, not reallocated");
     }
 
     #[test]
     fn release_recycles_slots() {
         let mut d = Disk::new(2);
-        let a = d.alloc(vec![rec(1)]);
-        let b = d.alloc(vec![rec(2)]);
+        let a = d.alloc(&[rec(1)]);
+        let b = d.alloc(&[rec(2)]);
         assert_eq!(d.live_blocks(), 2);
         d.release(a).unwrap();
         assert_eq!(d.live_blocks(), 1);
-        let c = d.alloc(vec![rec(3)]);
+        let c = d.alloc(&[rec(3)]);
         assert_eq!(c.index(), a.index(), "freed slot should be reused");
-        assert_eq!(d.read(b).unwrap(), vec![rec(2)]);
+        assert_eq!(d.slice(b).unwrap(), &[rec(2)]);
+        assert_eq!(d.slots(), 2, "arena must not grow past two slots");
     }
 
     #[test]
     fn stale_and_unknown_ids_error() {
         let mut d = Disk::new(2);
-        let a = d.alloc(vec![rec(1)]);
+        let a = d.alloc(&[rec(1)]);
         d.release(a).unwrap();
-        assert!(d.read(a).is_err());
-        assert!(d.write(a, vec![]).is_err());
+        assert!(d.slice(a).is_err());
+        assert!(d.write(a, &[]).is_err());
         assert!(d.release(a).is_err());
-        assert!(d.read(BlockId(99)).is_err());
+        assert!(d.slice(BlockId(99)).is_err());
+        let mut buf = Vec::new();
+        assert!(d.read_into(BlockId(99), &mut buf).is_err());
     }
 
     #[test]
     #[should_panic(expected = "exceeds B")]
     fn overfull_block_rejected_on_alloc() {
         let mut d = Disk::new(2);
-        d.alloc(vec![rec(1), rec(2), rec(3)]);
+        d.alloc(&[rec(1), rec(2), rec(3)]);
     }
 
     #[test]
     #[should_panic(expected = "exceeds B")]
     fn overfull_block_rejected_on_write() {
         let mut d = Disk::new(2);
-        let id = d.alloc(vec![rec(1)]);
-        let _ = d.write(id, vec![rec(1), rec(2), rec(3)]);
+        let id = d.alloc(&[rec(1)]);
+        let _ = d.write(id, &[rec(1), rec(2), rec(3)]);
     }
 
     #[test]
     fn peek_is_uncharged_window() {
         let mut d = Disk::new(2);
-        let id = d.alloc(vec![rec(7)]);
+        let id = d.alloc(&[rec(7)]);
         assert_eq!(d.peek(id).unwrap()[0], rec(7));
         assert!(d.peek(BlockId(5)).is_none());
+    }
+
+    #[test]
+    fn partial_blocks_shrink_and_grow_in_place() {
+        let mut d = Disk::new(4);
+        let id = d.alloc(&[rec(1), rec(2), rec(3)]);
+        d.write(id, &[rec(8)]).unwrap();
+        assert_eq!(d.slice(id).unwrap(), &[rec(8)]);
+        d.write(id, &[rec(4), rec(5), rec(6), rec(7)]).unwrap();
+        assert_eq!(d.slice(id).unwrap(), &[rec(4), rec(5), rec(6), rec(7)]);
     }
 }

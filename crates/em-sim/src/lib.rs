@@ -4,13 +4,16 @@
 //! Asymmetric Read and Write Costs* (SPAA 2015):
 //!
 //! * an unbounded **secondary memory** ([`Disk`]) partitioned into blocks of
-//!   `B` records;
+//!   `B` records — stored as one contiguous slab arena with a free list, so
+//!   block transfers are plain `memcpy`s and the transfer path performs no
+//!   heap allocation;
 //! * a **primary memory** of `M` records — not materialized as a separate
 //!   store, but *enforced*: algorithms must lease capacity ([`EmMachine::lease`])
 //!   for every in-memory buffer they hold, and leasing beyond the machine's
 //!   capacity faults;
-//! * two transfer instructions: [`EmMachine::read_block`] (cost 1) and
-//!   [`EmMachine::write_block`] (cost ω).
+//! * two transfer instructions: [`EmMachine::read_block_into`] (cost 1) and
+//!   [`EmMachine::write_block_from`] (cost ω), both operating on caller-owned,
+//!   reused buffers.
 //!
 //! The I/O complexity of an algorithm is read directly off the machine's
 //! counters: `block_reads + omega * block_writes`. RAM instructions on data in
@@ -23,6 +26,6 @@ pub mod disk;
 pub mod machine;
 pub mod vec;
 
-pub use disk::{Block, BlockId, Disk};
+pub use disk::{BlockId, Disk};
 pub use machine::{EmConfig, EmMachine, EmStats, MemLease};
 pub use vec::{EmReader, EmVec, EmWriter};

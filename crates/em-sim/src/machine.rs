@@ -1,8 +1,8 @@
 //! The AEM machine: disk + primary-memory enforcement + cost accounting.
 
-use crate::disk::{Block, BlockId, Disk};
+use crate::disk::{BlockId, Disk};
 use asym_model::{CostModel, CostReport, ModelError, Record, Result};
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::rc::Rc;
 
 /// Parameters of an AEM machine.
@@ -80,12 +80,17 @@ impl EmStats {
 /// design — the AEM is a sequential model (the parallel variant lives in
 /// `asym-core::par` on top of per-thread machines).
 ///
+/// Transfers move records between caller-owned buffers and the disk's slab
+/// arena, so the modeled I/O path performs no heap allocation: reads fill a
+/// reused buffer in place, writes copy out of a borrowed slice.
+///
 /// ```
 /// use em_sim::{EmConfig, EmMachine};
 /// use asym_model::Record;
 /// let em = EmMachine::new(EmConfig::new(64, 8, 16)); // M=64, B=8, omega=16
-/// let id = em.append_block(vec![Record::keyed(1)]);  // one block write
-/// let _ = em.read_block(id).unwrap();                // one block read
+/// let id = em.append_block_from(&[Record::keyed(1)]); // one block write
+/// let mut buf = Vec::new();
+/// em.read_block_into(id, &mut buf).unwrap();          // one block read
 /// assert_eq!(em.io_cost(), 1 + 16);
 /// ```
 #[derive(Clone)]
@@ -139,31 +144,34 @@ impl EmMachine {
 
     // ---- transfers -------------------------------------------------------
 
-    /// Transfer a block from secondary to primary memory (cost 1).
+    /// Transfer a block from secondary to primary memory (cost 1), filling
+    /// `buf` in place (cleared first). Callers keep one buffer per cursor, so
+    /// the steady-state read path performs zero heap allocations.
     ///
     /// The caller must already hold a lease covering the destination buffer;
     /// the machine does not tie leases to specific blocks (the model's primary
     /// memory is a scratchpad), it only enforces the total.
-    pub fn read_block(&self, id: BlockId) -> Result<Block> {
+    pub fn read_block_into(&self, id: BlockId, buf: &mut Vec<Record>) -> Result<()> {
         self.inner.block_reads.set(self.inner.block_reads.get() + 1);
-        self.inner.disk.borrow().read(id)
+        self.inner.disk.borrow().read_into(id, buf)
     }
 
     /// Transfer a block from primary to secondary memory, overwriting `id`
-    /// (cost ω — counted as one block write).
-    pub fn write_block(&self, id: BlockId, block: Block) -> Result<()> {
+    /// (cost ω — counted as one block write). The source buffer is borrowed,
+    /// not consumed — the caller clears and refills it.
+    pub fn write_block_from(&self, id: BlockId, records: &[Record]) -> Result<()> {
         self.inner
             .block_writes
             .set(self.inner.block_writes.get() + 1);
-        self.inner.disk.borrow_mut().write(id, block)
+        self.inner.disk.borrow_mut().write(id, records)
     }
 
-    /// Allocate a fresh block on disk and write `block` into it (cost ω).
-    pub fn append_block(&self, block: Block) -> BlockId {
+    /// Allocate a fresh block on disk and copy `records` into it (cost ω).
+    pub fn append_block_from(&self, records: &[Record]) -> BlockId {
         self.inner
             .block_writes
             .set(self.inner.block_writes.get() + 1);
-        self.inner.disk.borrow_mut().alloc(block)
+        self.inner.disk.borrow_mut().alloc(records)
     }
 
     /// Release a disk block (free; deallocation moves no data).
@@ -171,16 +179,14 @@ impl EmMachine {
         self.inner.disk.borrow_mut().release(id)
     }
 
-    /// Place input data on disk **without charging transfers** — models the
-    /// problem input already residing in secondary memory, as the sorting
-    /// problem statement assumes.
-    pub fn stage_input_block(&self, block: Block) -> BlockId {
-        self.inner.disk.borrow_mut().alloc(block)
-    }
-
-    /// Uncharged peek at a block (test oracles only).
-    pub fn peek_block(&self, id: BlockId) -> Option<Block> {
-        self.inner.disk.borrow().peek(id).cloned()
+    /// Uncharged borrow of a block's records (test oracles only). The
+    /// returned guard holds the disk's `RefCell` open for reading: any write
+    /// or stage through this machine while the guard lives panics with a
+    /// borrow error, so read what you need and drop it before the next
+    /// mutation.
+    pub fn peek_block(&self, id: BlockId) -> Option<Ref<'_, [Record]>> {
+        let disk = self.inner.disk.borrow();
+        Ref::filter_map(disk, |d| d.peek(id)).ok()
     }
 
     /// Charge `n` block reads for transfers that are modeled but not
@@ -262,12 +268,11 @@ impl EmMachine {
     }
 
     /// Stage a whole record slice as a block-aligned disk array, uncharged.
-    /// Returns the block ids in order. Used to set up problem inputs.
+    /// Returns the block ids in order. Used to set up problem inputs. Each
+    /// chunk is copied **once**, straight into the arena.
     pub fn stage_input(&self, records: &[Record]) -> Vec<BlockId> {
-        records
-            .chunks(self.b())
-            .map(|c| self.stage_input_block(c.to_vec()))
-            .collect()
+        let mut disk = self.inner.disk.borrow_mut();
+        records.chunks(self.b()).map(|c| disk.alloc(c)).collect()
     }
 }
 
@@ -307,10 +312,11 @@ mod tests {
     #[test]
     fn transfers_are_charged_asymmetrically() {
         let em = machine(16, 4, 8);
-        let id = em.append_block(recs(&[1, 2]));
-        let blk = em.read_block(id).unwrap();
-        assert_eq!(blk, recs(&[1, 2]));
-        em.write_block(id, recs(&[3])).unwrap();
+        let id = em.append_block_from(&recs(&[1, 2]));
+        let mut buf = Vec::new();
+        em.read_block_into(id, &mut buf).unwrap();
+        assert_eq!(buf, recs(&[1, 2]));
+        em.write_block_from(id, &recs(&[3])).unwrap();
         let s = em.stats();
         assert_eq!(s.block_reads, 1);
         assert_eq!(s.block_writes, 2); // append + write
@@ -325,7 +331,7 @@ mod tests {
         assert_eq!(ids.len(), 2); // 4 + 1 records
         assert_eq!(em.stats().block_reads, 0);
         assert_eq!(em.stats().block_writes, 0);
-        assert_eq!(em.peek_block(ids[1]).unwrap(), recs(&[5]));
+        assert_eq!(&*em.peek_block(ids[1]).unwrap(), recs(&[5]).as_slice());
     }
 
     #[test]
@@ -354,23 +360,25 @@ mod tests {
     fn reset_stats_keeps_disk_and_leases() {
         let em = machine(8, 2, 2);
         let _l = em.lease(3).unwrap();
-        let id = em.append_block(recs(&[1]));
+        let id = em.append_block_from(&recs(&[1]));
         em.reset_stats();
         let s = em.stats();
         assert_eq!((s.block_reads, s.block_writes), (0, 0));
         assert_eq!(s.peak_memory, 3);
         assert_eq!(em.mem_used(), 3);
-        assert!(em.read_block(id).is_ok());
+        let mut buf = Vec::new();
+        assert!(em.read_block_into(id, &mut buf).is_ok());
     }
 
     #[test]
     fn release_frees_disk_blocks() {
         let em = machine(8, 2, 2);
-        let id = em.append_block(recs(&[1]));
+        let id = em.append_block_from(&recs(&[1]));
         assert_eq!(em.live_blocks(), 1);
         em.release_block(id).unwrap();
         assert_eq!(em.live_blocks(), 0);
-        assert!(em.read_block(id).is_err());
+        let mut buf = Vec::new();
+        assert!(em.read_block_into(id, &mut buf).is_err());
     }
 
     #[test]

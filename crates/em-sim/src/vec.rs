@@ -4,9 +4,11 @@
 //! of records stored in consecutive blocks (all full except possibly the
 //! last). [`EmReader`] and [`EmWriter`] stream over it one block at a time,
 //! holding a one-block primary-memory lease while open — exactly the load
-//! buffer / store buffer discipline of Algorithm 2.
+//! buffer / store buffer discipline of Algorithm 2. Each cursor owns one
+//! reusable block buffer that is filled (or drained) in place, so streaming
+//! I/O allocates nothing after the cursor is opened.
 
-use crate::disk::{Block, BlockId};
+use crate::disk::BlockId;
 use crate::machine::{EmMachine, MemLease};
 use asym_model::{Record, Result};
 
@@ -95,7 +97,7 @@ impl EmVec {
             blocks: &self.blocks,
             len: self.len,
             next_block: 0,
-            buf: Vec::new(),
+            buf: Vec::with_capacity(machine.b()),
             buf_pos: 0,
             consumed: 0,
             _lease: lease,
@@ -121,13 +123,14 @@ impl EmVec {
     }
 }
 
-/// Buffered sequential reader (holds a one-block lease while open).
+/// Buffered sequential reader (holds a one-block lease while open). The load
+/// buffer is allocated once at open and refilled in place per block.
 pub struct EmReader<'a> {
     machine: EmMachine,
     blocks: &'a [BlockId],
     len: usize,
     next_block: usize,
-    buf: Block,
+    buf: Vec<Record>,
     buf_pos: usize,
     consumed: usize,
     _lease: MemLease,
@@ -146,7 +149,9 @@ impl<'a> EmReader<'a> {
         }
         if self.buf_pos == self.buf.len() {
             let id = self.blocks[self.next_block];
-            self.buf = self.machine.read_block(id).expect("live block");
+            self.machine
+                .read_block_into(id, &mut self.buf)
+                .expect("live block");
             self.next_block += 1;
             self.buf_pos = 0;
         }
@@ -174,11 +179,12 @@ impl<'a> EmReader<'a> {
 }
 
 /// Buffered sequential writer (holds a one-block lease while open; each flush
-/// of the store buffer charges one ω-cost block write).
+/// of the store buffer charges one ω-cost block write). The store buffer is
+/// allocated once at open and cleared — never reallocated — on flush.
 pub struct EmWriter {
     machine: EmMachine,
     blocks: Vec<BlockId>,
-    buf: Block,
+    buf: Vec<Record>,
     len: usize,
     _lease: MemLease,
 }
@@ -226,9 +232,8 @@ impl EmWriter {
         if self.buf.is_empty() {
             return;
         }
-        let block = std::mem::take(&mut self.buf);
-        self.blocks.push(self.machine.append_block(block));
-        self.buf = Vec::with_capacity(self.machine.b());
+        self.blocks.push(self.machine.append_block_from(&self.buf));
+        self.buf.clear();
     }
 
     /// Flush the final partial block and return the finished array.
@@ -290,6 +295,23 @@ mod tests {
         assert_eq!(v.len(), 10);
         assert_eq!(em.stats().block_writes, 3);
         assert_eq!(v.read_all_uncharged(&em), recs(10));
+    }
+
+    #[test]
+    fn cursors_do_not_reallocate_their_buffers() {
+        let em = machine();
+        let v = EmVec::stage(&em, &recs(40)); // 10 full blocks
+        let mut r = v.reader(&em).unwrap();
+        let mut ptr = None;
+        let mut w = EmWriter::new(&em).unwrap();
+        let wptr = w.buf.as_ptr();
+        while let Some(x) = r.next() {
+            let p = r.buf.as_ptr();
+            assert_eq!(*ptr.get_or_insert(p), p, "load buffer must be stable");
+            w.push(x);
+            assert_eq!(w.buf.as_ptr(), wptr, "store buffer must be stable");
+        }
+        assert_eq!(w.finish().read_all_uncharged(&em), recs(40));
     }
 
     #[test]
