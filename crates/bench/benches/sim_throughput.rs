@@ -31,7 +31,7 @@ use asym_core::em::{aem_mergesort, aem_samplesort};
 use asym_model::workload::Workload;
 use asym_model::Record;
 use criterion::{BenchmarkId, Criterion};
-use em_sim::{EmConfig, EmMachine, EmVec, EmWriter};
+use em_sim::{EmConfig, EmStats, EmVec, EmWriter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -42,11 +42,13 @@ const B: usize = 8;
 const OMEGA: u64 = 8;
 
 /// One simulator workload: stable id, records per run, and a runner that
-/// executes one full pass over a fresh machine.
+/// executes one full pass over a fresh machine and returns its modeled
+/// transfer stats (identical across backends by construction — the JSON
+/// report freezes them so CI can diff against the committed baseline).
 struct Case {
     id: &'static str,
     n: usize,
-    run: Box<dyn Fn()>,
+    run: Box<dyn Fn() -> EmStats>,
 }
 
 fn cases(scale: Scale) -> Vec<Case> {
@@ -67,7 +69,7 @@ fn raw_stream_case(n: usize) -> Case {
         id: "raw-stream",
         n,
         run: Box::new(move || {
-            let em = EmMachine::new(EmConfig::new(M, B, OMEGA));
+            let em = asym_bench::machine(EmConfig::new(M, B, OMEGA));
             let v = EmVec::stage(&em, &input);
             let mut w = EmWriter::new(&em).expect("writer lease");
             let mut r = v.reader(&em).expect("reader lease");
@@ -77,6 +79,7 @@ fn raw_stream_case(n: usize) -> Case {
             drop(r);
             let out = w.finish();
             assert_eq!(out.len(), n);
+            em.stats()
         }),
     }
 }
@@ -93,11 +96,13 @@ fn mergesort_case(k: usize, n: usize) -> Case {
         id,
         n,
         run: Box::new(move || {
-            let em =
-                EmMachine::new(EmConfig::new(M, B, OMEGA).with_slack(mergesort_slack(M, B, k)));
+            let em = asym_bench::machine(
+                EmConfig::new(M, B, OMEGA).with_slack(mergesort_slack(M, B, k)),
+            );
             let v = EmVec::stage(&em, &input);
             let sorted = aem_mergesort(&em, v, k).expect("mergesort");
             assert_eq!(sorted.len(), n);
+            em.stats()
         }),
     }
 }
@@ -108,12 +113,14 @@ fn samplesort_case(k: usize, n: usize) -> Case {
         id: "e5-samplesort-k4",
         n,
         run: Box::new(move || {
-            let em =
-                EmMachine::new(EmConfig::new(M, B, OMEGA).with_slack(samplesort_slack(M, B, k)));
+            let em = asym_bench::machine(
+                EmConfig::new(M, B, OMEGA).with_slack(samplesort_slack(M, B, k)),
+            );
             let v = EmVec::stage(&em, &input);
             let mut rng = StdRng::seed_from_u64(0xE5);
             let sorted = aem_samplesort(&em, v, k, &mut rng).expect("samplesort");
             assert_eq!(sorted.len(), n);
+            em.stats()
         }),
     }
 }
@@ -141,13 +148,15 @@ fn main() {
         group.finish();
     }
 
-    // One clean timed run per workload feeds the JSON report.
-    let mut report = BenchReport::new("sim-throughput", scale.name());
+    // One clean timed run per workload feeds the JSON report. The modeled
+    // stats ride along so the CI regression gate can pin them exactly.
+    let mut report = BenchReport::new("sim-throughput", scale.name())
+        .with_backend(asym_bench::backend_from_env().name());
     for case in &cases {
         let start = Instant::now();
-        (case.run)();
+        let stats = (case.run)();
         let secs = start.elapsed().as_secs_f64();
-        report.push(case.id, case.n as u64, secs);
+        report.push_with_stats(case.id, case.n as u64, secs, stats);
     }
     report.write_to(&json_path).expect("write bench json");
     println!("wrote bench report to {}", json_path.display());

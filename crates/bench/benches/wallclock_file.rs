@@ -1,0 +1,171 @@
+//! wallclock_file — wall-clock parity of the file-backed block device.
+//!
+//! The AEM model charges `1` per block read and `ω` per block write because
+//! NVM-class devices behave that way. Every modeled experiment in this repo
+//! runs the same transfer schedule regardless of backend — this bench runs
+//! E3 (mergesort) and E5 (sample sort) on **both** the in-memory slab and
+//! the file-backed [`em_sim::FileStore`], and prints measured seconds next
+//! to the modeled `reads + ω·writes` charge, so the cost/time correlation
+//! the paper predicts becomes an observable artifact:
+//!
+//! * across backends, modeled `(reads, writes)` are asserted identical
+//!   (costs are backend-independent by construction);
+//! * within the file backend, wall-clock time scales with the number of
+//!   block transfers — the `sec/kio` column (seconds per thousand unit
+//!   charges) should be roughly flat across workloads on one device.
+//!
+//! ```text
+//! cargo bench -p asym-bench --bench wallclock_file
+//! ASYM_BENCH_SCALE=smoke cargo bench -p asym-bench --bench wallclock_file
+//! cargo bench -p asym-bench --bench wallclock_file -- --json out.json
+//! ```
+//!
+//! The optional JSON report (default `BENCH_wallclock_file.json`, not
+//! committed) uses the same schema as `BENCH_sim.json`, tagged
+//! `backend: "file"`, so runs can be diffed across machines.
+
+use asym_bench::json::{json_path_from_args, BenchReport};
+use asym_bench::Scale;
+use asym_core::em::mergesort::mergesort_slack;
+use asym_core::em::samplesort::samplesort_slack;
+use asym_core::em::{aem_mergesort, aem_samplesort};
+use asym_model::record::assert_sorted_permutation;
+use asym_model::table::{f2, Table};
+use asym_model::workload::Workload;
+use asym_model::Record;
+use em_sim::{Backend, EmConfig, EmMachine, EmStats, EmVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Machine geometry shared by every workload (matches the E3 tables).
+const M: usize = 64;
+const B: usize = 8;
+const OMEGA: u64 = 8;
+
+/// One workload: a stable id and a runner returning the run's modeled stats
+/// plus the measured seconds for the given backend. The runner times **only
+/// the sort itself** — staging the input (uncharged setup) and the
+/// correctness oracle (uncharged read-back + O(n log n) permutation check)
+/// stay outside the timed window, so `seconds` covers exactly the modeled
+/// transfer schedule that `reads + ω·writes` charges.
+struct Case {
+    id: &'static str,
+    n: usize,
+    run: Box<dyn Fn(Backend) -> (EmStats, f64)>,
+}
+
+fn mergesort_case(k: usize, n: usize) -> Case {
+    let input: Vec<Record> = Workload::UniformRandom.generate(n, 0xE3);
+    let id: &'static str = match k {
+        1 => "e3-mergesort-k1",
+        8 => "e3-mergesort-k8",
+        _ => unreachable!("fixed k sweep"),
+    };
+    Case {
+        id,
+        n,
+        run: Box::new(move |backend| {
+            let cfg = EmConfig::new(M, B, OMEGA).with_slack(mergesort_slack(M, B, k));
+            let em = EmMachine::with_backend(cfg, backend).expect("machine");
+            let v = EmVec::stage(&em, &input);
+            let start = Instant::now();
+            let sorted = aem_mergesort(&em, v, k).expect("mergesort");
+            let seconds = start.elapsed().as_secs_f64();
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            (em.stats(), seconds)
+        }),
+    }
+}
+
+fn samplesort_case(k: usize, n: usize) -> Case {
+    let input: Vec<Record> = Workload::UniformRandom.generate(n, 0xE5);
+    Case {
+        id: "e5-samplesort-k4",
+        n,
+        run: Box::new(move |backend| {
+            let cfg = EmConfig::new(M, B, OMEGA).with_slack(samplesort_slack(M, B, k));
+            let em = EmMachine::with_backend(cfg, backend).expect("machine");
+            let v = EmVec::stage(&em, &input);
+            let mut rng = StdRng::seed_from_u64(0xE5);
+            let start = Instant::now();
+            let sorted = aem_samplesort(&em, v, k, &mut rng).expect("samplesort");
+            let seconds = start.elapsed().as_secs_f64();
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            (em.stats(), seconds)
+        }),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(10_000usize, 100_000, 400_000);
+    let cases = [
+        mergesort_case(1, n),
+        mergesort_case(8, n),
+        samplesort_case(4, n),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "wallclock_file: measured seconds vs modeled cost (M={M}, B={B}, omega={OMEGA}, n={n})"
+        ),
+        &[
+            "workload",
+            "backend",
+            "reads",
+            "writes",
+            "cost R+wW",
+            "seconds",
+            "us/io",
+            "file/mem",
+        ],
+    );
+    let default_json = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_wallclock_file.json"
+    );
+    let json_path = json_path_from_args(std::env::args().skip(1), default_json);
+    let mut report = BenchReport::new("wallclock-file", scale.name()).with_backend("file");
+
+    for case in &cases {
+        let mut seconds = [0.0f64; 2];
+        let mut stats = [EmStats::default(); 2];
+        for (i, backend) in [Backend::Mem, Backend::File].into_iter().enumerate() {
+            (stats[i], seconds[i]) = (case.run)(backend);
+        }
+        assert_eq!(
+            stats[0], stats[1],
+            "{}: modeled costs must not depend on the backend",
+            case.id
+        );
+        let cost = stats[1].block_reads + OMEGA * stats[1].block_writes;
+        for (i, backend) in [Backend::Mem, Backend::File].into_iter().enumerate() {
+            table.row(&[
+                case.id.into(),
+                backend.name().into(),
+                stats[i].block_reads.to_string(),
+                stats[i].block_writes.to_string(),
+                cost.to_string(),
+                format!("{:.4}", seconds[i]),
+                f2(seconds[i] * 1e6 / cost as f64),
+                if backend == Backend::File {
+                    f2(seconds[1] / seconds[0])
+                } else {
+                    "1.00".into()
+                },
+            ]);
+        }
+        report.push_with_stats(case.id, case.n as u64, seconds[1], stats[1]);
+    }
+    table.note("modeled (reads, writes) asserted identical across backends");
+    table.note(
+        "us/io = microseconds per unit of modeled charge; flat-ish across workloads on one device",
+    );
+    table
+        .note("file/mem = wall-clock slowdown of real I/O vs the slab arena at equal modeled cost");
+    print!("{table}");
+
+    report.write_to(&json_path).expect("write bench json");
+    println!("wrote bench report to {}", json_path.display());
+}

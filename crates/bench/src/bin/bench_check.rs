@@ -1,0 +1,94 @@
+//! bench_check — the CI bench-regression gate.
+//!
+//! Compares a fresh bench report against the committed baseline and exits
+//! non-zero on drift:
+//!
+//! ```text
+//! cargo run -p asym-bench --bin bench_check -- \
+//!     --baseline BENCH_sim.json --fresh BENCH_fresh.json [--tolerance 0.25]
+//! ```
+//!
+//! Modeled `(reads, writes, peak_memory)` counts must match the baseline
+//! exactly (they are deterministic — any change is a model regression);
+//! wall-clock throughput may regress up to `tolerance` (default 25%) before
+//! the gate trips. See `asym_bench::json::compare_reports` for the rules.
+
+use asym_bench::json::{compare_reports, BenchReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--fresh" => fresh = Some(PathBuf::from(value("--fresh")?)),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline <path> is required")?,
+        fresh: fresh.ok_or("--fresh <path> is required")?,
+        tolerance,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            eprintln!("usage: bench_check --baseline <json> --fresh <json> [--tolerance 0.25]");
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &PathBuf| match BenchReport::read_from(path) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (load(&args.baseline), load(&args.fresh)) else {
+        return ExitCode::from(2);
+    };
+    let violations = compare_reports(&baseline, &fresh, args.tolerance);
+    if violations.is_empty() {
+        println!(
+            "bench_check: OK — {} entries match the baseline (scale={}, backend={}, tolerance={:.0}%)",
+            fresh.entries().len(),
+            fresh.scale(),
+            fresh.backend(),
+            100.0 * args.tolerance
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_check: {} violation(s) against {}:",
+            violations.len(),
+            args.baseline.display()
+        );
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

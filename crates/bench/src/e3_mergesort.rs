@@ -8,7 +8,7 @@ use asym_core::em::{aem_mergesort, mergesort_slack};
 use asym_model::stats::ceil_log_base;
 use asym_model::table::{f2, Table};
 use asym_model::workload::Workload;
-use em_sim::{EmConfig, EmMachine, EmVec};
+use em_sim::{EmConfig, EmVec};
 
 /// Run one sort, returning (reads, writes, cost).
 fn measure(
@@ -18,7 +18,7 @@ fn measure(
     k: usize,
     input: &[asym_model::Record],
 ) -> (u64, u64, u64) {
-    let em = EmMachine::new(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
+    let em = crate::machine(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
     let v = EmVec::stage(&em, input);
     let sorted = aem_mergesort(&em, v, k).expect("sort");
     assert_eq!(sorted.len(), input.len());
@@ -112,7 +112,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     for k in [2usize, 4, 8] {
         let (_, w_mem, _) = measure(m, b, 8, k, &input);
-        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
+        let em = crate::machine(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
         let v = EmVec::stage(&em, &input);
         aem_mergesort_opts(
             &em,

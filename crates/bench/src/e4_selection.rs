@@ -6,7 +6,7 @@ use crate::Scale;
 use asym_core::em::selection_sort;
 use asym_model::table::Table;
 use asym_model::workload::Workload;
-use em_sim::{EmConfig, EmMachine, EmVec};
+use em_sim::{EmConfig, EmVec};
 
 /// Run E4.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -28,7 +28,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for &(m, b) in shapes {
         for mult in 1..=factor {
             let n = mult * m - mult; // deliberately unaligned
-            let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(2 * b));
+            let em = crate::machine(EmConfig::new(m, b, 8).with_slack(2 * b));
             let input = Workload::Reversed.generate(n, 0xE4);
             let v = EmVec::stage(&em, &input);
             em.reset_stats();

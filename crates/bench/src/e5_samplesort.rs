@@ -6,7 +6,7 @@ use crate::Scale;
 use asym_core::em::{aem_mergesort, aem_samplesort, mergesort_slack, samplesort_slack};
 use asym_model::table::{f2, Table};
 use asym_model::workload::Workload;
-use em_sim::{EmConfig, EmMachine, EmVec};
+use em_sim::{EmConfig, EmVec};
 use rand::SeedableRng;
 
 /// Run E5.
@@ -33,7 +33,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let mut classic = 0u64;
         for k in [1usize, 2, 4, 8] {
             let em =
-                EmMachine::new(EmConfig::new(m, b, omega).with_slack(samplesort_slack(m, b, k)));
+                crate::machine(EmConfig::new(m, b, omega).with_slack(samplesort_slack(m, b, k)));
             let v = EmVec::stage(&em, &input);
             let sorted = aem_samplesort(&em, v, k, &mut rng).expect("sample sort");
             assert_eq!(sorted.len(), n);
@@ -41,7 +41,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let smp_cost = em.io_cost();
 
             let em2 =
-                EmMachine::new(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
+                crate::machine(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
             let v2 = EmVec::stage(&em2, &input);
             aem_mergesort(&em2, v2, k).expect("mergesort");
             let mrg_cost = em2.io_cost();

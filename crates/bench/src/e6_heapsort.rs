@@ -10,7 +10,7 @@ use asym_model::stats::log_base;
 use asym_model::table::{f2, f3, Table};
 use asym_model::workload::Workload;
 use asym_model::Record;
-use em_sim::{EmConfig, EmMachine, EmVec};
+use em_sim::{EmConfig, EmVec};
 use rand::{Rng, SeedableRng};
 
 /// Run E6.
@@ -34,7 +34,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let levels = 1.0 + log_base((k * m) as f64 / b as f64, n as f64);
         // Phase A: n inserts then n delete-mins.
         {
-            let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
+            let em = crate::machine(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
             let mut pq = AemPriorityQueue::new(em.clone(), k).expect("pq");
             let input = Workload::UniformRandom.generate(n, 0xE6);
             for &r in &input {
@@ -54,7 +54,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         }
         // Phase B: random 60/40 mix.
         {
-            let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
+            let em = crate::machine(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
             let mut pq = AemPriorityQueue::new(em.clone(), k).expect("pq");
             let mut rng = rand::rngs::StdRng::seed_from_u64(0xE6);
             let mut ops = 0u64;
@@ -98,13 +98,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     let input = Workload::UniformRandom.generate(n, 0x6E);
     for k in [1usize, 2, 4] {
-        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
+        let em = crate::machine(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
         let v = EmVec::stage(&em, &input);
         let sorted = aem_heapsort(&em, v, k).expect("heapsort");
         assert_eq!(sorted.len(), n);
         let s = em.stats();
         let heap_cost = em.io_cost();
-        let em2 = EmMachine::new(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
+        let em2 = crate::machine(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
         let v2 = EmVec::stage(&em2, &input);
         aem_mergesort(&em2, v2, k).expect("mergesort");
         totals.row(&[

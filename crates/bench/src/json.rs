@@ -1,23 +1,35 @@
-//! Minimal JSON bench-report emitter (no external dependencies).
+//! Bench-report JSON: emitter, minimal parser, and the regression checker
+//! (no external dependencies).
 //!
 //! Perf-trajectory tracking writes one `BENCH_*.json` file per bench target
 //! so successive runs (locally or as CI artifacts) can be diffed and
-//! plotted. The format is deliberately flat:
+//! plotted, and so CI can gate on drift against the committed baseline. The
+//! format is deliberately flat:
 //!
 //! ```json
 //! {
 //!   "name": "sim-throughput",
 //!   "scale": "smoke",
+//!   "backend": "mem",
 //!   "entries": [
 //!     { "id": "raw-stream", "records": 50000, "seconds": 0.0042,
-//!       "records_per_sec": 11904761.9 }
+//!       "records_per_sec": 11904761.9,
+//!       "reads": 6250, "writes": 6250, "peak_memory": 16 }
 //!   ]
 //! }
 //! ```
 //!
+//! `reads` / `writes` / `peak_memory` are the *modeled* [`EmStats`] of the
+//! run — deterministic for a fixed workload and machine geometry, so the
+//! checker ([`compare_reports`]) treats any change as a hard failure (a model
+//! regression, not noise), while wall-clock throughput gets a tolerance.
+//!
 //! Bench binaries accept `--json <path>` (after `cargo bench ... --`) to
-//! choose the output file; see [`json_path_from_args`].
+//! choose the output file; see [`json_path_from_args`]. The `bench_check`
+//! bin (`cargo run -p asym-bench --bin bench_check`) wires
+//! [`compare_reports`] into CI.
 
+use em_sim::EmStats;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -32,28 +44,71 @@ pub struct BenchEntry {
     pub seconds: f64,
     /// Throughput: `records / seconds`.
     pub records_per_sec: f64,
+    /// Modeled block reads of the run (0 when the workload reported none).
+    pub reads: u64,
+    /// Modeled block writes of the run.
+    pub writes: u64,
+    /// Modeled peak primary-memory lease, in records.
+    pub peak_memory: u64,
 }
 
-/// A bench report: a named set of throughput measurements at one scale.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// A bench report: a named set of throughput measurements at one scale, on
+/// one storage backend.
+#[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
     name: String,
     scale: String,
+    backend: String,
     entries: Vec<BenchEntry>,
 }
 
+impl Default for BenchReport {
+    fn default() -> Self {
+        Self::new("", "")
+    }
+}
+
 impl BenchReport {
-    /// An empty report for bench target `name` at `scale`.
+    /// An empty report for bench target `name` at `scale`, on the default
+    /// `mem` backend (see [`BenchReport::with_backend`]).
     pub fn new(name: impl Into<String>, scale: impl Into<String>) -> Self {
         Self {
             name: name.into(),
             scale: scale.into(),
+            backend: "mem".into(),
             entries: Vec::new(),
         }
     }
 
-    /// Record one measurement (throughput is derived).
+    /// Tag the report with the storage backend the measurements ran on.
+    pub fn with_backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = backend.into();
+        self
+    }
+
+    /// The scale this report was measured at.
+    pub fn scale(&self) -> &str {
+        &self.scale
+    }
+
+    /// The storage backend this report was measured on.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Record one measurement with no modeled stats (throughput is derived).
     pub fn push(&mut self, id: impl Into<String>, records: u64, seconds: f64) {
+        self.push_with_stats(id, records, seconds, EmStats::default());
+    }
+
+    /// Record one measurement plus the modeled transfer stats of the run.
+    pub fn push_with_stats(
+        &mut self,
+        id: impl Into<String>,
+        records: u64,
+        seconds: f64,
+        stats: EmStats,
+    ) {
         let records_per_sec = if seconds > 0.0 {
             records as f64 / seconds
         } else {
@@ -64,6 +119,9 @@ impl BenchReport {
             records,
             seconds,
             records_per_sec,
+            reads: stats.block_reads,
+            writes: stats.block_writes,
+            peak_memory: stats.peak_memory as u64,
         });
     }
 
@@ -77,14 +135,19 @@ impl BenchReport {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"name\": {},\n", quote(&self.name)));
         out.push_str(&format!("  \"scale\": {},\n", quote(&self.scale)));
+        out.push_str(&format!("  \"backend\": {},\n", quote(&self.backend)));
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{ \"id\": {}, \"records\": {}, \"seconds\": {}, \"records_per_sec\": {} }}{}\n",
+                "    {{ \"id\": {}, \"records\": {}, \"seconds\": {}, \"records_per_sec\": {}, \
+                 \"reads\": {}, \"writes\": {}, \"peak_memory\": {} }}{}\n",
                 quote(&e.id),
                 e.records,
                 number(e.seconds),
                 number(e.records_per_sec),
+                e.reads,
+                e.writes,
+                e.peak_memory,
                 if i + 1 < self.entries.len() { "," } else { "" }
             ));
         }
@@ -97,7 +160,322 @@ impl BenchReport {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.to_json().as_bytes())
     }
+
+    /// Parse a report back from its JSON rendering. Tolerates reports written
+    /// before a field existed (`backend` defaults to `mem`, modeled stats to
+    /// zero) so freshly-gated code can still read older committed baselines.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let mut report = BenchReport::new(
+            get_str(obj, "name").unwrap_or_default(),
+            get_str(obj, "scale").unwrap_or_default(),
+        )
+        .with_backend(get_str(obj, "backend").unwrap_or_else(|| "mem".into()));
+        let entries = find(obj, "entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"entries\" array")?;
+        for e in entries {
+            let eo = e.as_obj().ok_or("entry must be an object")?;
+            report.entries.push(BenchEntry {
+                id: get_str(eo, "id").ok_or("entry missing \"id\"")?,
+                records: get_u64(eo, "records").ok_or("entry missing \"records\"")?,
+                seconds: get_f64(eo, "seconds").ok_or("entry missing \"seconds\"")?,
+                records_per_sec: get_f64(eo, "records_per_sec")
+                    .ok_or("entry missing \"records_per_sec\"")?,
+                reads: get_u64(eo, "reads").unwrap_or(0),
+                writes: get_u64(eo, "writes").unwrap_or(0),
+                peak_memory: get_u64(eo, "peak_memory").unwrap_or(0),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Read and parse a report file.
+    pub fn read_from(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
 }
+
+/// Compare a fresh bench report against the committed baseline.
+///
+/// Returns one human-readable violation per finding (empty = gate passes):
+///
+/// * scale or backend mismatch — the reports are not comparable at all;
+/// * an entry present on one side only — the workload set drifted without a
+///   baseline regeneration;
+/// * differing `records` or modeled `(reads, writes, peak_memory)` — modeled
+///   costs are deterministic, so **any** change is a model regression;
+/// * throughput below `(1 - tolerance) ×` baseline — a wall-clock regression
+///   beyond noise (`tolerance` is a fraction, e.g. `0.25`).
+pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if baseline.scale != fresh.scale {
+        violations.push(format!(
+            "scale mismatch: baseline {:?} vs fresh {:?} (run the bench at the baseline's scale)",
+            baseline.scale, fresh.scale
+        ));
+        return violations;
+    }
+    if baseline.backend != fresh.backend {
+        violations.push(format!(
+            "backend mismatch: baseline {:?} vs fresh {:?}",
+            baseline.backend, fresh.backend
+        ));
+        return violations;
+    }
+    for b in &baseline.entries {
+        let Some(f) = fresh.entries.iter().find(|f| f.id == b.id) else {
+            violations.push(format!("{}: missing from the fresh run", b.id));
+            continue;
+        };
+        if f.records != b.records {
+            violations.push(format!(
+                "{}: records changed {} -> {}",
+                b.id, b.records, f.records
+            ));
+            continue;
+        }
+        for (what, was, now) in [
+            ("reads", b.reads, f.reads),
+            ("writes", b.writes, f.writes),
+            ("peak_memory", b.peak_memory, f.peak_memory),
+        ] {
+            if was != now {
+                violations.push(format!(
+                    "{}: modeled {what} changed {was} -> {now} (model regression)",
+                    b.id
+                ));
+            }
+        }
+        let floor = b.records_per_sec * (1.0 - tolerance);
+        if b.records_per_sec > 0.0 && f.records_per_sec < floor {
+            violations.push(format!(
+                "{}: throughput regressed {:.0} -> {:.0} records/sec ({:+.1}%, tolerance {:.0}%)",
+                b.id,
+                b.records_per_sec,
+                f.records_per_sec,
+                100.0 * (f.records_per_sec / b.records_per_sec - 1.0),
+                100.0 * tolerance
+            ));
+        }
+    }
+    for f in &fresh.entries {
+        if !baseline.entries.iter().any(|b| b.id == f.id) {
+            violations.push(format!(
+                "{}: not in the baseline (regenerate the committed BENCH json)",
+                f.id
+            ));
+        }
+    }
+    violations
+}
+
+// ---- tiny JSON value parser ------------------------------------------------
+
+/// A parsed JSON value — just enough structure to read bench reports back.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn find<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str(obj: &[(String, Json)], key: &str) -> Option<String> {
+    match find(obj, key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn get_f64(obj: &[(String, Json)], key: &str) -> Option<f64> {
+    match find(obj, key) {
+        Some(Json::Num(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Option<u64> {
+    get_f64(obj, key).map(|x| x.round() as u64)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    _ => return Err(format!("unknown escape \\{}", esc as char)),
+                }
+            }
+            _ => {
+                // Re-borrow the full char (the input is valid UTF-8; multi-byte
+                // chars only occur inside strings).
+                let start = *pos - 1;
+                let s = std::str::from_utf8(&b[start..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().ok_or("empty string tail")?;
+                *pos = start + ch.len_utf8();
+                out.push(ch);
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {s:?} at offset {start}"))
+}
+
+// ---- emission helpers ------------------------------------------------------
 
 /// JSON string literal (the ids and names used here never need exotic
 /// escapes, but quote and backslash are handled for safety).
@@ -145,16 +523,27 @@ pub fn json_path_from_args(args: impl Iterator<Item = String>, default: &str) ->
 mod tests {
     use super::*;
 
+    fn stats(r: u64, w: u64, peak: usize) -> EmStats {
+        EmStats {
+            block_reads: r,
+            block_writes: w,
+            peak_memory: peak,
+        }
+    }
+
     #[test]
     fn report_renders_valid_flat_json() {
         let mut r = BenchReport::new("sim-throughput", "smoke");
-        r.push("raw-stream", 1000, 0.5);
+        r.push_with_stats("raw-stream", 1000, 0.5, stats(125, 125, 16));
         r.push("e3-mergesort-k1", 2000, 0.0);
         let json = r.to_json();
         assert!(json.contains("\"name\": \"sim-throughput\""));
         assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"backend\": \"mem\""));
         assert!(json.contains("\"id\": \"raw-stream\""));
         assert!(json.contains("\"records_per_sec\": 2000.000000"));
+        assert!(json.contains("\"reads\": 125"));
+        assert!(json.contains("\"peak_memory\": 16"));
         // Zero-duration run degrades to zero throughput, not inf/NaN.
         assert!(json.contains("\"records_per_sec\": 0.000000"));
         // Exactly one comma between the two entries.
@@ -162,9 +551,118 @@ mod tests {
     }
 
     #[test]
+    fn report_roundtrips_through_the_parser() {
+        let mut r = BenchReport::new("sim-throughput", "standard").with_backend("file");
+        r.push_with_stats("raw-stream", 2_000_000, 0.052, stats(250_000, 250_000, 16));
+        r.push_with_stats("e3-mergesort-k4", 200_000, 0.078, stats(637, 250, 72));
+        let parsed = BenchReport::from_json(&r.to_json()).expect("parse");
+        assert_eq!(parsed.name, r.name);
+        assert_eq!(parsed.scale(), "standard");
+        assert_eq!(parsed.backend(), "file");
+        assert_eq!(parsed.entries().len(), 2);
+        assert_eq!(parsed.entries()[0].reads, 250_000);
+        assert_eq!(parsed.entries()[1].peak_memory, 72);
+        assert!((parsed.entries()[0].seconds - 0.052).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_tolerates_pre_stats_reports() {
+        let old = r#"{
+  "name": "sim-throughput",
+  "scale": "standard",
+  "entries": [
+    { "id": "raw-stream", "records": 100, "seconds": 0.5, "records_per_sec": 200.0 }
+  ]
+}"#;
+        let parsed = BenchReport::from_json(old).expect("parse");
+        assert_eq!(parsed.backend(), "mem");
+        assert_eq!(parsed.entries()[0].reads, 0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("[]").is_err());
+        assert!(BenchReport::from_json("{\"name\": \"x\"}").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let mut r = BenchReport::new("t", "smoke");
+        r.push_with_stats("a", 100, 0.1, stats(10, 10, 8));
+        assert!(compare_reports(&r, &r.clone(), 0.25).is_empty());
+    }
+
+    #[test]
+    fn modeled_cost_drift_is_a_hard_failure() {
+        let mut base = BenchReport::new("t", "smoke");
+        base.push_with_stats("a", 100, 0.1, stats(10, 10, 8));
+        let mut fresh = BenchReport::new("t", "smoke");
+        fresh.push_with_stats("a", 100, 0.1, stats(10, 11, 8));
+        let v = compare_reports(&base, &fresh, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("writes changed 10 -> 11"), "{v:?}");
+    }
+
+    #[test]
+    fn throughput_tolerance_is_applied() {
+        let mut base = BenchReport::new("t", "smoke");
+        base.push_with_stats("a", 1000, 1.0, stats(1, 1, 1)); // 1000 rec/s
+        let mut ok = BenchReport::new("t", "smoke");
+        ok.push_with_stats("a", 1000, 1.3, stats(1, 1, 1)); // ~769 rec/s, -23%
+        assert!(compare_reports(&base, &ok, 0.25).is_empty());
+        let mut slow = BenchReport::new("t", "smoke");
+        slow.push_with_stats("a", 1000, 1.5, stats(1, 1, 1)); // ~667 rec/s, -33%
+        let v = compare_reports(&base, &slow, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("throughput regressed"), "{v:?}");
+    }
+
+    #[test]
+    fn entry_set_drift_and_scale_mismatch_are_caught() {
+        let mut base = BenchReport::new("t", "smoke");
+        base.push("a", 100, 0.1);
+        base.push("gone", 100, 0.1);
+        let mut fresh = BenchReport::new("t", "smoke");
+        fresh.push("a", 100, 0.1);
+        fresh.push("new", 100, 0.1);
+        let v = compare_reports(&base, &fresh, 0.25);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("gone: missing")));
+        assert!(v.iter().any(|m| m.contains("new: not in the baseline")));
+
+        let other_scale = BenchReport::new("t", "standard");
+        let v = compare_reports(&base, &other_scale, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("scale mismatch"));
+
+        let other_backend = BenchReport::new("t", "smoke").with_backend("file");
+        let v = compare_reports(&base, &other_backend, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("backend mismatch"));
+    }
+
+    #[test]
+    fn records_change_short_circuits_stat_noise() {
+        let mut base = BenchReport::new("t", "smoke");
+        base.push_with_stats("a", 100, 0.1, stats(10, 10, 8));
+        let mut fresh = BenchReport::new("t", "smoke");
+        fresh.push_with_stats("a", 200, 0.1, stats(20, 20, 8));
+        let v = compare_reports(&base, &fresh, 0.25);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("records changed 100 -> 200"));
+    }
+
+    #[test]
     fn strings_are_escaped() {
         assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(quote("x\ny"), "\"x\\ny\"");
+        assert_eq!(
+            Json::parse("\"a\\\"b\\\\c\\n\\u0041\"").unwrap(),
+            Json::Str("a\"b\\c\nA".into())
+        );
     }
 
     #[test]
@@ -195,6 +693,7 @@ mod tests {
         r.write_to(&path).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, r.to_json());
+        assert_eq!(BenchReport::read_from(&path).unwrap(), r);
         let _ = std::fs::remove_file(&path);
     }
 }

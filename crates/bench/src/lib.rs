@@ -9,8 +9,19 @@
 //! * `smoke` — seconds-fast sanity sizes;
 //! * `standard` (default) — the sizes recorded in EXPERIMENTS.md;
 //! * `full` — larger sweeps for sharper asymptotics.
+//!
+//! The storage backend of the AEM experiments (E3–E6) is controlled by
+//! `ASYM_BENCH_BACKEND`:
+//! * `mem` (default) — the zero-alloc slab arena;
+//! * `file` — a real temp file, so the modeled transfer schedule is executed
+//!   as actual `std::fs` I/O.
+//!
+//! Modeled `(reads, writes, peak_memory)` are identical across backends by
+//! construction; the backend matrix in CI proves the tables don't silently
+//! depend on the in-memory store.
 
 use asym_model::table::Table;
+use em_sim::{Backend, EmConfig, EmMachine};
 
 pub mod json;
 
@@ -66,6 +77,25 @@ impl Scale {
             Scale::Full => "full",
         }
     }
+}
+
+/// The storage backend selected by `ASYM_BENCH_BACKEND` (default: `mem`).
+///
+/// Panics on an unrecognized value so a typo can't silently fall back to the
+/// in-memory store in a backend-matrix CI run.
+pub fn backend_from_env() -> Backend {
+    Backend::from_env()
+}
+
+/// Build an [`EmMachine`] on the backend selected by `ASYM_BENCH_BACKEND`.
+///
+/// Every AEM experiment constructs its machines through this helper, so one
+/// environment variable swaps the whole harness between the slab arena and
+/// the file-backed block device. Panics if the file backend cannot create
+/// its temp file — an experiment silently measuring the wrong backend would
+/// be worse than a crash.
+pub fn machine(cfg: EmConfig) -> EmMachine {
+    EmMachine::with_backend(cfg, backend_from_env()).expect("create bench machine backend")
 }
 
 /// An experiment: an id, the paper claim it reproduces, and a runner.

@@ -1,5 +1,5 @@
-//! Secondary memory: an unbounded store of fixed-size blocks, backed by one
-//! contiguous slab arena.
+//! The in-memory backend: an unbounded store of fixed-size blocks, backed by
+//! one contiguous slab arena.
 //!
 //! Slot `i` owns the record range `data[i*B .. (i+1)*B]`; a parallel `lens`
 //! array records how many of those cells are live (the last block of an
@@ -8,54 +8,42 @@
 //! arena with **zero per-block heap allocations**: every transfer is a
 //! `memcpy` into or out of the slab.
 
-use asym_model::{ModelError, Record, Result};
+use crate::store::{BlockId, BlockStore, SlotTable};
+use asym_model::{Record, Result};
 
-/// Handle to one block of secondary memory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct BlockId(pub(crate) usize);
-
-impl BlockId {
-    /// The raw slot index (stable for the life of the block).
-    pub fn index(&self) -> usize {
-        self.0
-    }
-}
-
-/// Length sentinel marking a released slot.
-const FREE: usize = usize::MAX;
-
-/// Unbounded secondary memory, block-granular.
+/// Unbounded in-memory secondary memory, block-granular (the default
+/// [`BlockStore`] backend).
 ///
-/// `Disk` does no cost accounting — that is [`super::EmMachine`]'s job. It
-/// only stores blocks and recycles freed slots. All I/O-shaped methods take
-/// or fill caller-owned buffers; nothing on the transfer path allocates.
+/// `MemStore` does no cost accounting — that is [`crate::EmMachine`]'s job.
+/// It only stores blocks and recycles freed slots (through the `SlotTable`
+/// shared with every backend, so the slot schedule is identical across
+/// backends by construction). All I/O-shaped methods take or fill
+/// caller-owned buffers; nothing on the transfer path allocates.
 #[derive(Debug, Default)]
-pub struct Disk {
+pub struct MemStore {
     /// The slab arena: slot `i` owns `data[i*B .. (i+1)*B]`.
     data: Vec<Record>,
-    /// Live record count per slot (`FREE` marks a released slot).
-    lens: Vec<usize>,
-    /// Released slot indices awaiting reuse.
-    free: Vec<usize>,
-    /// Allocated, unreleased slot count (kept so `live_blocks` is O(1)).
-    live: usize,
+    /// Slot bookkeeping (lengths, free list, live count).
+    slots: SlotTable,
     block_size: usize,
 }
 
-impl Disk {
-    /// An empty disk with the given block size `B` (in records).
+/// The pre-trait name of [`MemStore`], kept so existing code and tests keep
+/// compiling unchanged.
+pub type Disk = MemStore;
+
+impl MemStore {
+    /// An empty store with the given block size `B` (in records).
     pub fn new(block_size: usize) -> Self {
         assert!(block_size >= 1, "block size must be positive");
         Self {
             data: Vec::new(),
-            lens: Vec::new(),
-            free: Vec::new(),
-            live: 0,
+            slots: SlotTable::default(),
             block_size,
         }
     }
 
-    /// The block size `B` this disk was built with.
+    /// The block size `B` this store was built with.
     pub fn block_size(&self) -> usize {
         self.block_size
     }
@@ -69,32 +57,22 @@ impl Disk {
             records.len(),
             self.block_size
         );
-        let slot = match self.free.pop() {
-            Some(slot) => slot,
-            None => {
-                let slot = self.lens.len();
-                self.data
-                    .resize(self.data.len() + self.block_size, Record::default());
-                self.lens.push(FREE);
-                slot
-            }
-        };
+        let slot = self.slots.acquire(records.len());
+        let end = (slot + 1) * self.block_size;
+        if self.data.len() < end {
+            self.data.resize(end, Record::default());
+        }
         let start = slot * self.block_size;
         self.data[start..start + records.len()].copy_from_slice(records);
-        self.lens[slot] = records.len();
-        self.live += 1;
         BlockId(slot)
     }
 
-    /// Borrow a block's live records.
+    /// Borrow a block's live records (in-memory backend only — a file-backed
+    /// store has nothing to borrow from).
     pub fn slice(&self, id: BlockId) -> Result<&[Record]> {
-        match self.lens.get(id.0) {
-            Some(&len) if len != FREE => {
-                let start = id.0 * self.block_size;
-                Ok(&self.data[start..start + len])
-            }
-            _ => Err(ModelError::BadBlock(id.0)),
-        }
+        let len = self.slots.live_len(id)?;
+        let start = id.index() * self.block_size;
+        Ok(&self.data[start..start + len])
     }
 
     /// Copy a block out of secondary memory into `out` (cleared first). The
@@ -115,43 +93,60 @@ impl Disk {
             records.len(),
             self.block_size
         );
-        match self.lens.get(id.0) {
-            Some(&len) if len != FREE => {
-                let start = id.0 * self.block_size;
-                self.data[start..start + records.len()].copy_from_slice(records);
-                self.lens[id.0] = records.len();
-                Ok(())
-            }
-            _ => Err(ModelError::BadBlock(id.0)),
-        }
+        self.slots.set_len(id, records.len())?;
+        let start = id.index() * self.block_size;
+        self.data[start..start + records.len()].copy_from_slice(records);
+        Ok(())
     }
 
     /// Release a block's slot for reuse.
     pub fn release(&mut self, id: BlockId) -> Result<()> {
-        match self.lens.get(id.0) {
-            Some(&len) if len != FREE => {
-                self.lens[id.0] = FREE;
-                self.free.push(id.0);
-                self.live -= 1;
-                Ok(())
-            }
-            _ => Err(ModelError::BadBlock(id.0)),
-        }
+        self.slots.release(id)
     }
 
     /// Number of live (allocated, unreleased) blocks.
     pub fn live_blocks(&self) -> usize {
-        self.live
+        self.slots.live()
     }
 
     /// Total slots ever carved out of the arena (live + free).
     pub fn slots(&self) -> usize {
-        self.lens.len()
+        self.slots.slots()
     }
 
     /// Uncharged peek for test oracles.
     pub fn peek(&self, id: BlockId) -> Option<&[Record]> {
         self.slice(id).ok()
+    }
+}
+
+impl BlockStore for MemStore {
+    fn block_size(&self) -> usize {
+        MemStore::block_size(self)
+    }
+
+    fn alloc(&mut self, records: &[Record]) -> BlockId {
+        MemStore::alloc(self, records)
+    }
+
+    fn read_into(&mut self, id: BlockId, out: &mut Vec<Record>) -> Result<()> {
+        MemStore::read_into(self, id, out)
+    }
+
+    fn write(&mut self, id: BlockId, records: &[Record]) -> Result<()> {
+        MemStore::write(self, id, records)
+    }
+
+    fn release(&mut self, id: BlockId) -> Result<()> {
+        MemStore::release(self, id)
+    }
+
+    fn live_blocks(&self) -> usize {
+        MemStore::live_blocks(self)
+    }
+
+    fn slots(&self) -> usize {
+        MemStore::slots(self)
     }
 }
 
@@ -165,7 +160,7 @@ mod tests {
 
     #[test]
     fn alloc_read_write_roundtrip() {
-        let mut d = Disk::new(4);
+        let mut d = MemStore::new(4);
         let id = d.alloc(&[rec(1), rec(2)]);
         assert_eq!(d.slice(id).unwrap(), &[rec(1), rec(2)]);
         let mut buf = Vec::new();
@@ -179,7 +174,7 @@ mod tests {
 
     #[test]
     fn read_into_reuses_capacity() {
-        let mut d = Disk::new(4);
+        let mut d = MemStore::new(4);
         let a = d.alloc(&[rec(1), rec(2), rec(3), rec(4)]);
         let b = d.alloc(&[rec(5)]);
         let mut buf = Vec::with_capacity(4);
@@ -192,7 +187,7 @@ mod tests {
 
     #[test]
     fn release_recycles_slots() {
-        let mut d = Disk::new(2);
+        let mut d = MemStore::new(2);
         let a = d.alloc(&[rec(1)]);
         let b = d.alloc(&[rec(2)]);
         assert_eq!(d.live_blocks(), 2);
@@ -206,7 +201,7 @@ mod tests {
 
     #[test]
     fn stale_and_unknown_ids_error() {
-        let mut d = Disk::new(2);
+        let mut d = MemStore::new(2);
         let a = d.alloc(&[rec(1)]);
         d.release(a).unwrap();
         assert!(d.slice(a).is_err());
@@ -220,21 +215,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds B")]
     fn overfull_block_rejected_on_alloc() {
-        let mut d = Disk::new(2);
+        let mut d = MemStore::new(2);
         d.alloc(&[rec(1), rec(2), rec(3)]);
     }
 
     #[test]
     #[should_panic(expected = "exceeds B")]
     fn overfull_block_rejected_on_write() {
-        let mut d = Disk::new(2);
+        let mut d = MemStore::new(2);
         let id = d.alloc(&[rec(1)]);
         let _ = d.write(id, &[rec(1), rec(2), rec(3)]);
     }
 
     #[test]
     fn peek_is_uncharged_window() {
-        let mut d = Disk::new(2);
+        let mut d = MemStore::new(2);
         let id = d.alloc(&[rec(7)]);
         assert_eq!(d.peek(id).unwrap()[0], rec(7));
         assert!(d.peek(BlockId(5)).is_none());
@@ -242,11 +237,26 @@ mod tests {
 
     #[test]
     fn partial_blocks_shrink_and_grow_in_place() {
-        let mut d = Disk::new(4);
+        let mut d = MemStore::new(4);
         let id = d.alloc(&[rec(1), rec(2), rec(3)]);
         d.write(id, &[rec(8)]).unwrap();
         assert_eq!(d.slice(id).unwrap(), &[rec(8)]);
         d.write(id, &[rec(4), rec(5), rec(6), rec(7)]).unwrap();
         assert_eq!(d.slice(id).unwrap(), &[rec(4), rec(5), rec(6), rec(7)]);
+    }
+
+    #[test]
+    fn trait_object_dispatch_matches_inherent_api() {
+        let mut boxed: Box<dyn BlockStore> = Box::new(MemStore::new(3));
+        let id = boxed.alloc(&[rec(4), rec(5)]);
+        let mut buf = Vec::new();
+        boxed.read_into(id, &mut buf).unwrap();
+        assert_eq!(buf, vec![rec(4), rec(5)]);
+        boxed.peek_into(id, &mut buf).unwrap();
+        assert_eq!(buf, vec![rec(4), rec(5)]);
+        assert_eq!((boxed.live_blocks(), boxed.slots()), (1, 1));
+        boxed.release(id).unwrap();
+        assert_eq!(boxed.live_blocks(), 0);
+        assert_eq!(boxed.block_size(), 3);
     }
 }

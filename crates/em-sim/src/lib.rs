@@ -3,10 +3,14 @@
 //! A faithful executable version of the AEM model of §2 of *Sorting with
 //! Asymmetric Read and Write Costs* (SPAA 2015):
 //!
-//! * an unbounded **secondary memory** ([`Disk`]) partitioned into blocks of
-//!   `B` records — stored as one contiguous slab arena with a free list, so
-//!   block transfers are plain `memcpy`s and the transfer path performs no
-//!   heap allocation;
+//! * an unbounded **secondary memory** behind the pluggable [`BlockStore`]
+//!   trait, partitioned into blocks of `B` records. The default backend
+//!   ([`MemStore`]) is one contiguous slab arena with a free list, so block
+//!   transfers are plain `memcpy`s and the transfer path performs no heap
+//!   allocation; the [`FileStore`] backend maps the same slots onto a real
+//!   temp file so modeled costs can be compared against measured I/O time
+//!   (select it with [`EmMachine::with_backend`] or, in the bench harness,
+//!   `ASYM_BENCH_BACKEND=file`);
 //! * a **primary memory** of `M` records — not materialized as a separate
 //!   store, but *enforced*: algorithms must lease capacity ([`EmMachine::lease`])
 //!   for every in-memory buffer they hold, and leasing beyond the machine's
@@ -23,9 +27,13 @@
 //! and writers, which is the access pattern every §4 algorithm uses.
 
 pub mod disk;
+pub mod file;
 pub mod machine;
+pub mod store;
 pub mod vec;
 
-pub use disk::{BlockId, Disk};
+pub use disk::{Disk, MemStore};
+pub use file::FileStore;
 pub use machine::{EmConfig, EmMachine, EmStats, MemLease};
+pub use store::{Backend, BlockId, BlockStore, BACKEND_ENV};
 pub use vec::{EmReader, EmVec, EmWriter};

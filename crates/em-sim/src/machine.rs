@@ -1,8 +1,11 @@
-//! The AEM machine: disk + primary-memory enforcement + cost accounting.
+//! The AEM machine: a pluggable block store + primary-memory enforcement +
+//! cost accounting.
 
-use crate::disk::{BlockId, Disk};
+use crate::disk::MemStore;
+use crate::file::FileStore;
+use crate::store::{Backend, BlockId, BlockStore};
 use asym_model::{CostModel, CostReport, ModelError, Record, Result};
-use std::cell::{Cell, Ref, RefCell};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Parameters of an AEM machine.
@@ -76,13 +79,20 @@ impl EmStats {
 /// The Asymmetric External Memory machine.
 ///
 /// Shared by handle (`clone` is cheap): the machine, the arrays living on its
-/// disk, and the algorithm all reference the same state. Single-threaded by
-/// design — the AEM is a sequential model (the parallel variant lives in
-/// `asym-core::par` on top of per-thread machines).
+/// secondary memory, and the algorithm all reference the same state.
+/// Single-threaded by design — the AEM is a sequential model (the parallel
+/// variant lives in `asym-core::par` on top of per-thread machines).
 ///
-/// Transfers move records between caller-owned buffers and the disk's slab
-/// arena, so the modeled I/O path performs no heap allocation: reads fill a
-/// reused buffer in place, writes copy out of a borrowed slice.
+/// Secondary memory is a pluggable [`BlockStore`]: the zero-alloc in-memory
+/// slab ([`MemStore`], the default) or a real temp file ([`FileStore`],
+/// selected with [`EmMachine::with_backend`]). Cost accounting happens in
+/// the machine *before* the store is touched, so modeled `EmStats` are
+/// identical across backends by construction — the backend only changes how
+/// long the same transfer schedule takes on real hardware.
+///
+/// Transfers move records between caller-owned buffers and the store, so the
+/// modeled I/O path performs no heap allocation on the in-memory backend:
+/// reads fill a reused buffer in place, writes copy out of a borrowed slice.
 ///
 /// ```
 /// use em_sim::{EmConfig, EmMachine};
@@ -100,7 +110,8 @@ pub struct EmMachine {
 
 struct MachineInner {
     cfg: EmConfig,
-    disk: RefCell<Disk>,
+    backend: Backend,
+    disk: RefCell<Box<dyn BlockStore>>,
     block_reads: Cell<u64>,
     block_writes: Cell<u64>,
     mem_used: Cell<usize>,
@@ -108,12 +119,32 @@ struct MachineInner {
 }
 
 impl EmMachine {
-    /// Build a machine from a configuration.
+    /// Build a machine from a configuration, on the default in-memory store.
     pub fn new(cfg: EmConfig) -> Self {
+        Self::from_parts(cfg, Backend::Mem, Box::new(MemStore::new(cfg.b)))
+    }
+
+    /// Build a machine on the given [`Backend`]. The file backend can fail
+    /// (temp dir unwritable); the in-memory backend cannot.
+    pub fn with_backend(cfg: EmConfig, backend: Backend) -> Result<Self> {
+        let store: Box<dyn BlockStore> = match backend {
+            Backend::Mem => Box::new(MemStore::new(cfg.b)),
+            Backend::File => Box::new(FileStore::new(cfg.b)?),
+        };
+        Ok(Self::from_parts(cfg, backend, store))
+    }
+
+    fn from_parts(cfg: EmConfig, backend: Backend, store: Box<dyn BlockStore>) -> Self {
+        assert_eq!(
+            store.block_size(),
+            cfg.b,
+            "store block size must match the machine's B"
+        );
         Self {
             inner: Rc::new(MachineInner {
                 cfg,
-                disk: RefCell::new(Disk::new(cfg.b)),
+                backend,
+                disk: RefCell::new(store),
                 block_reads: Cell::new(0),
                 block_writes: Cell::new(0),
                 mem_used: Cell::new(0),
@@ -125,6 +156,11 @@ impl EmMachine {
     /// This machine's configuration.
     pub fn cfg(&self) -> EmConfig {
         self.inner.cfg
+    }
+
+    /// Which [`Backend`] this machine's secondary memory runs on.
+    pub fn backend(&self) -> Backend {
+        self.inner.backend
     }
 
     /// Block size `B` in records.
@@ -153,7 +189,7 @@ impl EmMachine {
     /// memory is a scratchpad), it only enforces the total.
     pub fn read_block_into(&self, id: BlockId, buf: &mut Vec<Record>) -> Result<()> {
         self.inner.block_reads.set(self.inner.block_reads.get() + 1);
-        self.inner.disk.borrow().read_into(id, buf)
+        self.inner.disk.borrow_mut().read_into(id, buf)
     }
 
     /// Transfer a block from primary to secondary memory, overwriting `id`
@@ -179,14 +215,24 @@ impl EmMachine {
         self.inner.disk.borrow_mut().release(id)
     }
 
-    /// Uncharged borrow of a block's records (test oracles only). The
-    /// returned guard holds the disk's `RefCell` open for reading: any write
-    /// or stage through this machine while the guard lives panics with a
-    /// borrow error, so read what you need and drop it before the next
-    /// mutation.
-    pub fn peek_block(&self, id: BlockId) -> Option<Ref<'_, [Record]>> {
-        let disk = self.inner.disk.borrow();
-        Ref::filter_map(disk, |d| d.peek(id)).ok()
+    /// Uncharged copy of a block's records (test oracles only). Allocates a
+    /// fresh vector per call — fine for oracles; modeled transfers go through
+    /// [`EmMachine::read_block_into`]. Returns `None` for released or unknown
+    /// blocks; a real device failure on the file backend panics rather than
+    /// masquerading as a freed block.
+    pub fn peek_block(&self, id: BlockId) -> Option<Vec<Record>> {
+        let mut out = Vec::new();
+        match self.peek_block_into(id, &mut out) {
+            Ok(()) => Some(out),
+            Err(ModelError::BadBlock(_)) => None,
+            Err(e) => panic!("peek_block({}): {e}", id.index()),
+        }
+    }
+
+    /// Uncharged read of a block into a caller-reused buffer (test oracles
+    /// and bulk uncharged copies like `EmVec::read_all_uncharged`).
+    pub fn peek_block_into(&self, id: BlockId, buf: &mut Vec<Record>) -> Result<()> {
+        self.inner.disk.borrow_mut().peek_into(id, buf)
     }
 
     /// Charge `n` block reads for transfers that are modeled but not
@@ -392,5 +438,30 @@ mod tests {
     #[should_panic(expected = "M must hold")]
     fn m_smaller_than_b_rejected() {
         let _ = EmConfig::new(2, 4, 2);
+    }
+
+    #[test]
+    fn file_backend_charges_identically_to_mem() {
+        let cfg = EmConfig::new(16, 4, 8);
+        let mem = EmMachine::new(cfg);
+        let file = EmMachine::with_backend(cfg, Backend::File).expect("temp file");
+        assert_eq!(mem.backend(), Backend::Mem);
+        assert_eq!(file.backend(), Backend::File);
+        for em in [&mem, &file] {
+            let id = em.append_block_from(&recs(&[1, 2]));
+            let mut buf = Vec::new();
+            em.read_block_into(id, &mut buf).unwrap();
+            assert_eq!(buf, recs(&[1, 2]));
+            em.write_block_from(id, &recs(&[3])).unwrap();
+            assert_eq!(em.peek_block(id).unwrap(), recs(&[3]));
+            em.release_block(id).unwrap();
+            assert!(em.peek_block(id).is_none());
+        }
+        assert_eq!(
+            mem.stats(),
+            file.stats(),
+            "modeled costs must not depend on backend"
+        );
+        assert_eq!(mem.io_cost(), 1 + 8 * 2);
     }
 }

@@ -8,8 +8,8 @@
 //! reusable block buffer that is filled (or drained) in place, so streaming
 //! I/O allocates nothing after the cursor is opened.
 
-use crate::disk::BlockId;
 use crate::machine::{EmMachine, MemLease};
+use crate::store::BlockId;
 use asym_model::{Record, Result};
 
 /// A disk-resident array of records.
@@ -107,9 +107,10 @@ impl EmVec {
     /// Uncharged copy of all records (test oracles and experiment setup only).
     pub fn read_all_uncharged(&self, machine: &EmMachine) -> Vec<Record> {
         let mut out = Vec::with_capacity(self.len);
+        let mut buf = Vec::with_capacity(machine.b());
         for id in &self.blocks {
-            let blk = machine.peek_block(*id).expect("live block");
-            out.extend_from_slice(&blk);
+            machine.peek_block_into(*id, &mut buf).expect("live block");
+            out.extend_from_slice(&buf);
         }
         out.truncate(self.len);
         out

@@ -52,6 +52,10 @@ pub enum ModelError {
     OutOfBounds { index: usize, len: usize },
     /// Generic invariant violation with a description.
     Invariant(String),
+    /// A real I/O operation failed (file-backed block stores only; the
+    /// in-memory store never produces this). The underlying `std::io::Error`
+    /// is flattened to its message so the error stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl std::fmt::Display for ModelError {
@@ -70,6 +74,7 @@ impl std::fmt::Display for ModelError {
                 write!(f, "index {index} out of bounds (len {len})")
             }
             ModelError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+            ModelError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -96,5 +101,8 @@ mod tests {
             .to_string()
             .contains("bounds"));
         assert!(ModelError::Invariant("x".into()).to_string().contains('x'));
+        assert!(ModelError::Io("denied".into())
+            .to_string()
+            .contains("denied"));
     }
 }

@@ -49,11 +49,16 @@ fn main() {
         model.cost_of(&c_base) as f64 / model.cost_of(&c_tree) as f64
     );
 
-    println!("== 2. Asymmetric External Memory (M=256, B=16, omega={omega}) ==");
+    // Storage backend for the AEM tour: `ASYM_BENCH_BACKEND=file` swaps the
+    // in-memory slab for a real temp file (modeled costs are identical by
+    // construction; only wall-clock time changes).
+    let backend = em_sim::Backend::from_env();
+    println!("== 2. Asymmetric External Memory (M=256, B=16, omega={omega}, backend={backend}) ==");
     let (m, b) = (256usize, 16usize);
     let mut best = (0usize, u64::MAX);
     for k in [1usize, 2, 4, 8] {
-        let em = EmMachine::new(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
+        let cfg = EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k));
+        let em = EmMachine::with_backend(cfg, backend).expect("create storage backend");
         let v = EmVec::stage(&em, &input);
         let sorted = aem_mergesort(&em, v, k).expect("sort");
         assert_eq!(sorted.len(), n);

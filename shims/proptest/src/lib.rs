@@ -156,7 +156,7 @@ impl<T: Arbitrary> Strategy for Any<T> {
 pub mod collection {
     use super::{Range, Rng, Strategy, TestRng};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

@@ -1,0 +1,131 @@
+//! Backend-parity suite: `MemStore` and `FileStore` must be observationally
+//! identical through the whole algorithm stack.
+//!
+//! The machine counts costs *before* touching the store, so `EmStats`
+//! equality is by construction — what these tests actually pin down is that
+//! the file backend stores and returns the same bytes under the same slot
+//! schedule: E3 (mergesort), E5 (sample sort) and E6 (buffer-tree heapsort)
+//! at smoke scale must produce byte-identical sorted output, identical
+//! `(reads, writes, peak_memory)`, and identical live-block accounting on
+//! both backends. Slot-reuse semantics get a dedicated release-heavy check
+//! (the sorts free their intermediate runs, so any LIFO/ordering divergence
+//! between the backends' free lists would surface as different output).
+
+use asym_core::em::mergesort::mergesort_slack;
+use asym_core::em::pq::pq_slack;
+use asym_core::em::samplesort::samplesort_slack;
+use asym_core::em::{aem_heapsort, aem_mergesort, aem_samplesort};
+use asym_model::record::assert_sorted_permutation;
+use asym_model::workload::Workload;
+use asym_model::Record;
+use em_sim::{Backend, EmConfig, EmMachine, EmStats, EmVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run one sort on one backend; return (sorted output, stats, live blocks).
+fn run_on(
+    backend: Backend,
+    cfg: EmConfig,
+    input: &[Record],
+    sort: impl FnOnce(&EmMachine, EmVec) -> EmVec,
+) -> (Vec<Record>, EmStats, usize) {
+    let em = EmMachine::with_backend(cfg, backend).expect("create backend");
+    assert_eq!(em.backend(), backend);
+    let v = EmVec::stage(&em, input);
+    em.reset_stats();
+    let sorted = sort(&em, v);
+    let out = sorted.read_all_uncharged(&em);
+    assert_sorted_permutation(input, &out);
+    (out, em.stats(), em.live_blocks())
+}
+
+/// Run on both backends and assert byte-identical outputs and identical
+/// modeled stats.
+fn assert_parity(
+    label: &str,
+    cfg: EmConfig,
+    input: &[Record],
+    sort: impl Fn(&EmMachine, EmVec) -> EmVec,
+) {
+    let (out_mem, stats_mem, live_mem) = run_on(Backend::Mem, cfg, input, &sort);
+    let (out_file, stats_file, live_file) = run_on(Backend::File, cfg, input, &sort);
+    assert_eq!(out_mem, out_file, "{label}: sorted output differs");
+    assert_eq!(stats_mem, stats_file, "{label}: EmStats differ");
+    assert_eq!(
+        live_mem, live_file,
+        "{label}: live-block accounting differs"
+    );
+}
+
+#[test]
+fn e3_mergesort_is_backend_invariant() {
+    let (m, b) = (32usize, 4usize);
+    let input = Workload::UniformRandom.generate(500, 0x60_1D);
+    for k in [1usize, 2, 4] {
+        let cfg = EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k));
+        assert_parity(&format!("E3 k={k}"), cfg, &input, |em, v| {
+            aem_mergesort(em, v, k).expect("mergesort")
+        });
+    }
+}
+
+#[test]
+fn e5_samplesort_is_backend_invariant() {
+    let (m, b) = (32usize, 4usize);
+    let input = Workload::UniformRandom.generate(600, 0x60_1D);
+    for k in [1usize, 2] {
+        let cfg = EmConfig::new(m, b, 8).with_slack(samplesort_slack(m, b, k));
+        assert_parity(&format!("E5 k={k}"), cfg, &input, |em, v| {
+            // Same splitter rng on both backends: the schedule must match.
+            let mut rng = StdRng::seed_from_u64(0xE5);
+            aem_samplesort(em, v, k, &mut rng).expect("samplesort")
+        });
+    }
+}
+
+#[test]
+fn e6_heapsort_is_backend_invariant() {
+    let (m, b) = (16usize, 2usize);
+    let input = Workload::UniformRandom.generate(800, 0x60_1D);
+    for k in [1usize, 2] {
+        let cfg = EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k));
+        assert_parity(&format!("E6 k={k}"), cfg, &input, |em, v| {
+            aem_heapsort(em, v, k).expect("heapsort")
+        });
+    }
+}
+
+#[test]
+fn adversarial_workloads_are_backend_invariant() {
+    // Sorted / reversed / few-distinct inputs drive different merge and
+    // bucket paths (and different release orders) than uniform-random.
+    let (m, b, k) = (32usize, 4usize, 2usize);
+    for wl in [Workload::Sorted, Workload::Reversed, Workload::FewDistinct] {
+        let input = wl.generate(300, 0xBEEF);
+        let cfg = EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k));
+        assert_parity(&format!("{wl:?}"), cfg, &input, |em, v| {
+            aem_mergesort(em, v, k).expect("mergesort")
+        });
+    }
+}
+
+#[test]
+fn slot_reuse_schedule_matches_across_backends() {
+    // Release-heavy cursor traffic: write runs, free them, write again. If
+    // the file backend recycled slots in a different order than the slab
+    // arena, block ids (and the final bytes) would diverge.
+    let cfg = EmConfig::new(32, 4, 8).with_slack(64);
+    let mem = EmMachine::with_backend(cfg, Backend::Mem).unwrap();
+    let file = EmMachine::with_backend(cfg, Backend::File).unwrap();
+    for em in [&mem, &file] {
+        let a = EmVec::stage(em, &Workload::UniformRandom.generate(40, 1));
+        let b = EmVec::stage(em, &Workload::UniformRandom.generate(24, 2));
+        a.free(em);
+        let c = EmVec::stage(em, &Workload::UniformRandom.generate(40, 3));
+        b.free(em);
+        let d = EmVec::stage(em, &Workload::UniformRandom.generate(16, 4));
+        assert_eq!(em.live_blocks(), c.num_blocks() + d.num_blocks());
+    }
+    // Same allocation history => same slot arithmetic on both backends.
+    assert_eq!(mem.live_blocks(), file.live_blocks());
+}

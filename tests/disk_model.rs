@@ -1,15 +1,20 @@
-//! Property test: the slab-arena `Disk` against a naive
+//! Property tests: the `BlockStore` backends against a naive
 //! `HashMap<BlockId, Vec<Record>>` reference model, under random
 //! alloc / write / read / release interleavings (including slot reuse
 //! after release).
 //!
-//! The arena's correctness risk is aliasing: a recycled slot must behave
-//! exactly like a fresh allocation, a released id must stay dead even after
-//! its slot is reused, and writes through one id must never show through
-//! another. The reference model has none of these hazards by construction.
+//! The slab arena's correctness risk is aliasing: a recycled slot must
+//! behave exactly like a fresh allocation, a released id must stay dead
+//! even after its slot is reused, and writes through one id must never show
+//! through another. The file backend adds offset arithmetic and stale-byte
+//! masking (a shrunk block must hide the previous occupant's tail) on top.
+//! The reference model has none of these hazards by construction; a second
+//! proptest drives `FileStore` against it *and* against a lock-step
+//! `MemStore` shadow, so the two backends are also pinned to hand out the
+//! identical `BlockId` schedule.
 
 use asym_model::Record;
-use em_sim::{BlockId, Disk};
+use em_sim::{BlockId, BlockStore, Disk, FileStore, MemStore};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -120,5 +125,83 @@ proptest! {
         }
         // Every slot ever carved out is either live or on the free list.
         prop_assert!(disk.slots() >= disk.live_blocks());
+    }
+
+    #[test]
+    fn file_store_matches_reference_and_memstore(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        b in 1usize..9,
+    ) {
+        let mut file = FileStore::new(b).expect("temp file");
+        let mut mem = MemStore::new(b);
+        let mut reference: HashMap<usize, Vec<Record>> = HashMap::new();
+        let mut live: Vec<BlockId> = Vec::new();
+        let mut dead: Vec<BlockId> = Vec::new();
+        let mut buf_file: Vec<Record> = Vec::new();
+        let mut buf_mem: Vec<Record> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(seed) => {
+                    let contents = block(seed, (seed as usize) % (b + 1));
+                    let idf = BlockStore::alloc(&mut file, &contents);
+                    let idm = mem.alloc(&contents);
+                    prop_assert_eq!(idf, idm, "backends allocated different slots");
+                    prop_assert!(!reference.contains_key(&idf.index()));
+                    reference.insert(idf.index(), contents);
+                    live.push(idf);
+                    dead.retain(|d| d.index() != idf.index());
+                }
+                Op::Write(pick, seed) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[(pick as usize) % live.len()];
+                    let contents = block(seed, (seed as usize) % (b + 1));
+                    BlockStore::write(&mut file, id, &contents).expect("live write");
+                    mem.write(id, &contents).expect("live write");
+                    reference.insert(id.index(), contents);
+                }
+                Op::Read(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[(pick as usize) % live.len()];
+                    file.read_into(id, &mut buf_file).expect("live read");
+                    MemStore::read_into(&mem, id, &mut buf_mem).expect("live read");
+                    prop_assert_eq!(&buf_file, &reference[&id.index()]);
+                    prop_assert_eq!(&buf_file, &buf_mem);
+                }
+                Op::Release(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = (pick as usize) % live.len();
+                    let id = live.swap_remove(idx);
+                    BlockStore::release(&mut file, id).expect("live release");
+                    mem.release(id).expect("live release");
+                    reference.remove(&id.index());
+                    dead.push(id);
+                }
+                Op::ReadStale(pick) => {
+                    if dead.is_empty() {
+                        continue;
+                    }
+                    let id = dead[(pick as usize) % dead.len()];
+                    prop_assert!(file.read_into(id, &mut buf_file).is_err());
+                    prop_assert!(BlockStore::write(&mut file, id, &[]).is_err());
+                    prop_assert!(BlockStore::release(&mut file, id).is_err());
+                }
+            }
+            prop_assert_eq!(file.live_blocks(), reference.len());
+            prop_assert_eq!(file.live_blocks(), mem.live_blocks());
+            prop_assert_eq!(file.slots(), mem.slots());
+        }
+        // Final sweep: every live block still reads back exactly, through the
+        // uncharged peek path too.
+        for id in &live {
+            file.peek_into(*id, &mut buf_file).expect("live peek");
+            prop_assert_eq!(&buf_file, &reference[&id.index()]);
+        }
     }
 }
