@@ -1,0 +1,88 @@
+//! par-sort — throughput and modeled costs of the parallel AEM sample sort
+//! across the lane sweep.
+//!
+//! One entry per (lanes, ω) configuration of experiment E13. The modeled
+//! `(reads, writes, peak_memory)` ride along in the JSON report, so the CI
+//! gate pins two things at once: the transfer schedule itself (any drift is
+//! a model regression) and — because every lane count must report the same
+//! write total as the one-lane serial schedule — the work-preservation
+//! invariant of the parallel execution spine.
+//!
+//! ```text
+//! cargo bench -p asym-bench --bench par_sort                 # + BENCH_par.json
+//! cargo bench -p asym-bench --bench par_sort -- --json out.json
+//! ASYM_BENCH_SCALE=smoke cargo bench -p asym-bench --bench par_sort
+//! ```
+//!
+//! `ASYM_BENCH_BACKEND` selects the lanes' block stores (`mem` or `file`);
+//! `ASYM_BENCH_THREADS` caps the lane sweep (the CI thread matrix).
+
+use asym_bench::e13_par_sort;
+use asym_bench::json::{json_path_from_args, BenchReport};
+use asym_bench::Scale;
+use criterion::{BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+/// The ω sweep: the write-asymmetric half of the E13 grid (the table also
+/// tabulates ω ∈ {1, 2}; the JSON gate pins the costlier configurations).
+const OMEGAS: [u64; 2] = [8, 32];
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(4_000usize, 40_000, 200_000);
+    let default_json = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    let json_path = json_path_from_args(std::env::args().skip(1), default_json);
+    let lanes = e13_par_sort::lane_counts();
+    // Setup stays outside every timed region: the input is generated once
+    // and each configuration's machine is built before its timer starts
+    // (runs leave the stores clean and `run_on` resets the counters, so one
+    // machine serves every iteration of its configuration).
+    let input = e13_par_sort::input_for(n);
+
+    // Criterion wall-clock display (min/mean/max per configuration).
+    let mut c = Criterion::default();
+    {
+        let mut group = c.benchmark_group("par-sort");
+        group
+            .sample_size(scale.pick(3, 5, 5))
+            .warm_up_time(Duration::from_millis(scale.pick(50, 300, 300)));
+        for &omega in &OMEGAS {
+            for &p in &lanes {
+                let par = e13_par_sort::machine(omega, p);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("e13-par-sort-w{omega}-l{p}"), n),
+                    &(),
+                    |b, ()| b.iter(|| e13_par_sort::run_on(&par, &input)),
+                );
+            }
+        }
+        group.finish();
+    }
+
+    // One clean timed run per configuration feeds the JSON report; modeled
+    // stats ride along so the CI regression gate can pin them exactly.
+    let mut report = BenchReport::new("par-sort", scale.name())
+        .with_backend(asym_bench::backend_from_env().name());
+    for &omega in &OMEGAS {
+        for &p in &lanes {
+            let par = e13_par_sort::machine(omega, p);
+            let start = Instant::now();
+            let run = e13_par_sort::run_on(&par, &input);
+            let secs = start.elapsed().as_secs_f64();
+            report.push_with_stats(
+                format!("e13-par-sort-w{omega}-l{p}"),
+                n as u64,
+                secs,
+                run.merged,
+            );
+        }
+    }
+    report.write_to(&json_path).expect("write bench json");
+    println!("wrote bench report to {}", json_path.display());
+    for e in report.entries() {
+        println!(
+            "{:<22} {:>10} records in {:>9.4}s  ->  {:>12.0} records/sec  (reads={}, writes={})",
+            e.id, e.records, e.seconds, e.records_per_sec, e.reads, e.writes
+        );
+    }
+}

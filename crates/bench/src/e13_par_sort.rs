@@ -1,0 +1,117 @@
+//! E13 (extension) — the parallel asymmetric sort end-to-end: the modeled
+//! parallel sample sort (`asym-core::par`) on a sharded `ParMachine`, with
+//! per-lane cost charging, span from the `wd-sim` cost algebra, and a
+//! simulated work-stealing execution of the phase DAG.
+//!
+//! The claim under test is *work preservation*: the merged write total
+//! across lanes must equal the one-lane (serial-schedule) write total for
+//! every lane count — write-efficiency survives parallelization — while
+//! the span and the simulated execution time shrink. The lane sweep honors
+//! `ASYM_BENCH_THREADS` (a cap, for the CI thread matrix) and the machines
+//! honor `ASYM_BENCH_BACKEND` like every other AEM experiment.
+
+use crate::Scale;
+use asym_core::par::{par_aem_sample_sort, par_samplesort_slack, ParSortRun};
+use asym_model::table::{f2, Table};
+use asym_model::workload::Workload;
+use asym_model::Record;
+use em_sim::{EmConfig, ParMachine};
+
+/// Machine geometry shared with the E3/E5 sweeps.
+const M: usize = 64;
+const B: usize = 8;
+const K: usize = 2;
+
+/// The lane counts of the sweep, capped by `ASYM_BENCH_THREADS` if set.
+///
+/// Panics on an unparsable value — like the backend selector, a typo must
+/// not silently run the full sweep in a thread-matrix CI job.
+pub fn lane_counts() -> Vec<usize> {
+    let cap = match std::env::var("ASYM_BENCH_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("ASYM_BENCH_THREADS={v:?}: expected a lane count"))
+            .max(1),
+        Err(_) => usize::MAX,
+    };
+    [1usize, 2, 4, 8]
+        .iter()
+        .copied()
+        .filter(|&p| p <= cap)
+        .collect()
+}
+
+/// Build the sharded machine E13 runs on (backend from `ASYM_BENCH_BACKEND`).
+pub fn machine(omega: u64, lanes: usize) -> ParMachine {
+    let cfg = EmConfig::new(M, B, omega).with_slack(par_samplesort_slack(M, B, K));
+    ParMachine::with_backend(cfg, lanes, crate::backend_from_env()).expect("par machine backend")
+}
+
+/// The deterministic E13 input at size `n` (generate once, outside any
+/// timed region — the `par_sort` bench measures the sort, not the setup).
+pub fn input_for(n: usize) -> Vec<Record> {
+    Workload::UniformRandom.generate(n, 0xE13)
+}
+
+/// One measured run (shared with the `par_sort` bench target). Resets the
+/// machine's counters first, so the run's merged stats are per-run even
+/// when the machine is reused across bench iterations (runs leave the
+/// stores clean, so reuse is sound).
+pub fn run_on(par: &ParMachine, input: &[Record]) -> ParSortRun {
+    par.reset_stats();
+    let run = par_aem_sample_sort(par, input, K, 0xE13).expect("par sample sort");
+    assert_eq!(run.output.len(), input.len());
+    assert_eq!(par.live_blocks(), 0, "run must leave the stores clean");
+    run
+}
+
+/// Run E13.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(4_000usize, 40_000, 200_000);
+    let lanes = lane_counts();
+    let input = input_for(n);
+
+    let mut t = Table::new(
+        format!("E13: parallel AEM sample sort (M={M}, B={B}, k={K}, n={n})"),
+        &[
+            "omega", "lanes", "reads", "writes", "span", "work", "sim time", "speedup", "steals",
+        ],
+    );
+    for omega in [1u64, 2, 8, 32] {
+        let mut serial_writes = 0u64;
+        let mut serial_time = 0u64;
+        for &p in &lanes {
+            let run = run_on(&machine(omega, p), &input);
+            let s = run.merged;
+            if p == 1 {
+                serial_writes = s.block_writes;
+                serial_time = run.sched.time;
+            }
+            // Work preservation: the parallel schedule must not write more
+            // than the serial one — the tentpole invariant, asserted here so
+            // the tables can't silently drift.
+            assert_eq!(
+                s.block_writes, serial_writes,
+                "omega={omega}, lanes={p}: parallel schedule changed the write total"
+            );
+            t.row(&[
+                omega.to_string(),
+                p.to_string(),
+                s.block_reads.to_string(),
+                s.block_writes.to_string(),
+                run.cost.depth.to_string(),
+                run.cost.work(omega).to_string(),
+                run.sched.time.to_string(),
+                f2(serial_time as f64 / run.sched.time as f64),
+                run.sched.steals.to_string(),
+            ]);
+        }
+    }
+    t.note("writes are identical across lane counts = the schedule preserves write-efficiency");
+    t.note("span = omega-weighted critical path from the wd-sim cost algebra");
+    t.note("sim time/steals = randomized work stealing over the measured phase DAG");
+    t.note("exchange is the paper's block-aligned owner-writes-once idealization (in-flight");
+    t.note("records are uncharged host traffic; see par::aem_sample_sort model idealizations)");
+    vec![t]
+}

@@ -1,6 +1,6 @@
 //! # asym-bench — the experiment harness
 //!
-//! One module per experiment in DESIGN.md §3 (E0–E12); each reproduces one
+//! One module per experiment in DESIGN.md §3 (E0–E13); each reproduces one
 //! theorem, lemma, or figure of the paper as a measured table. The
 //! `tables` bench target (`cargo bench -p asym-bench --bench tables`) runs
 //! them all and prints the tables that EXPERIMENTS.md catalogs.
@@ -29,6 +29,7 @@ pub mod e0_ram_sort;
 pub mod e10_matmul_em;
 pub mod e11_matmul_co;
 pub mod e12_scheduler;
+pub mod e13_par_sort;
 pub mod e1_pram_sort;
 pub mod e2_partition;
 pub mod e3_mergesort;
@@ -175,6 +176,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "E12",
             claim: "§2 scheduler bounds: steals = O(pD) under work stealing",
             run: e12_scheduler::run,
+        },
+        Experiment {
+            id: "E13",
+            claim: "§4–§5 parallel sort: lane-sharded AEM machine preserves write totals",
+            run: e13_par_sort::run,
         },
     ]
 }

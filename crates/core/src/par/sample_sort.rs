@@ -1,5 +1,13 @@
 //! Threaded splitter-based sample sort.
+//!
+//! This is the wall-clock executor; its modeled counterpart
+//! ([`crate::par::par_aem_sample_sort`]) runs the same splitter/partition
+//! discipline against per-lane `EmMachine`s and the `wd-sim` scheduler.
+//! Both reduce their sorted sample through
+//! [`super::splitters::splitters_from_sorted_sample`], so the two executors
+//! bucket identically given the same sample.
 
+use super::splitters::{bucket_of, splitters_from_sorted_sample};
 use asym_model::Record;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -27,11 +35,7 @@ pub fn par_sample_sort(input: &[Record], threads: usize, seed: u64) -> Vec<Recor
         .copied()
         .collect();
     sample.sort_unstable();
-    let buckets = p;
-    let mut splitters: Vec<Record> = (1..buckets)
-        .map(|i| sample[i * sample.len() / buckets])
-        .collect();
-    splitters.dedup();
+    let splitters = splitters_from_sorted_sample(&sample, p);
     let buckets = splitters.len() + 1;
 
     // Phase 2: per-worker bucket counts.
@@ -45,7 +49,7 @@ pub fn par_sample_sort(input: &[Record], threads: usize, seed: u64) -> Vec<Recor
             let _ = w;
             s.spawn(move |_| {
                 for r in *my_chunk {
-                    my_counts[splitters.partition_point(|sp| sp < r)] += 1;
+                    my_counts[bucket_of(splitters, *r)] += 1;
                 }
             });
         }
@@ -87,7 +91,7 @@ pub fn par_sample_sort(input: &[Record], threads: usize, seed: u64) -> Vec<Recor
                 let mut cursors = my_offsets.clone();
                 s.spawn(move |_| {
                     for r in *my_chunk {
-                        let b = splitters.partition_point(|sp| sp < r);
+                        let b = bucket_of(splitters, *r);
                         // SAFETY: cursor ranges [offsets[w][b],
                         // offsets[w][b]+counts[w][b]) are pairwise disjoint
                         // across workers and buckets by the phase-3 prefix.

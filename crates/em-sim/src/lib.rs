@@ -25,15 +25,22 @@
 //!
 //! [`EmVec`] provides disk-resident arrays with buffered sequential readers
 //! and writers, which is the access pattern every §4 algorithm uses.
+//!
+//! [`ParMachine`] shards one configuration into per-worker lanes (each an
+//! independent [`EmMachine`]) so the §4–§5 *parallel* algorithms can charge
+//! modeled transfers to the worker that performs them and merge the lanes
+//! into work aggregates with [`EmStats::merge`].
 
 pub mod disk;
 pub mod file;
 pub mod machine;
+pub mod par;
 pub mod store;
 pub mod vec;
 
 pub use disk::{Disk, MemStore};
 pub use file::FileStore;
 pub use machine::{EmConfig, EmMachine, EmStats, MemLease};
+pub use par::ParMachine;
 pub use store::{Backend, BlockId, BlockStore, BACKEND_ENV};
 pub use vec::{EmReader, EmVec, EmWriter};

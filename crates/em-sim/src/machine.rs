@@ -74,6 +74,29 @@ impl EmStats {
     pub fn report(&self, omega: u64) -> CostReport {
         CostReport::new(self.block_reads, self.block_writes, omega)
     }
+
+    /// Merge another lane's stats into a *work* aggregate: transfer counts
+    /// add (total reads and writes across lanes — the quantity the paper's
+    /// work bounds constrain), and `peak_memory` adds too, since each lane
+    /// owns a separate primary memory and the aggregate is the machine-wide
+    /// footprint if every lane peaked simultaneously (an upper bound).
+    ///
+    /// Span is *not* a fold over `EmStats` — the critical path depends on
+    /// which transfers happen in sequence, which is what `wd_sim::Cost`
+    /// tracks per phase.
+    #[must_use]
+    pub fn merge(self, other: EmStats) -> EmStats {
+        EmStats {
+            block_reads: self.block_reads + other.block_reads,
+            block_writes: self.block_writes + other.block_writes,
+            peak_memory: self.peak_memory + other.peak_memory,
+        }
+    }
+
+    /// Merge many lanes' stats (see [`EmStats::merge`]).
+    pub fn merge_all(stats: impl IntoIterator<Item = EmStats>) -> EmStats {
+        stats.into_iter().fold(EmStats::default(), EmStats::merge)
+    }
 }
 
 /// The Asymmetric External Memory machine.
@@ -130,8 +153,21 @@ impl EmMachine {
         let store: Box<dyn BlockStore> = match backend {
             Backend::Mem => Box::new(MemStore::new(cfg.b)),
             Backend::File => Box::new(FileStore::new(cfg.b)?),
+            Backend::Custom => {
+                return Err(ModelError::Invariant(
+                    "custom stores are built with EmMachine::with_store, not by name".into(),
+                ))
+            }
         };
         Ok(Self::from_parts(cfg, backend, store))
+    }
+
+    /// Build a machine on a caller-supplied [`BlockStore`] implementation
+    /// (reported as [`Backend::Custom`]). This is the extension point for
+    /// out-of-tree backends — and for fault-injection wrappers in tests,
+    /// which interpose on a real store to exercise the error paths.
+    pub fn with_store(cfg: EmConfig, store: Box<dyn BlockStore>) -> Self {
+        Self::from_parts(cfg, Backend::Custom, store)
     }
 
     fn from_parts(cfg: EmConfig, backend: Backend, store: Box<dyn BlockStore>) -> Self {

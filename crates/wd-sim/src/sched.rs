@@ -41,6 +41,22 @@ impl Task {
         }
     }
 
+    /// The task tree of a phased lane algorithm: a sequence of barriers,
+    /// each phase forking one strand per lane. `phase_lane_work[p][w]` is
+    /// the ω-weighted work of lane `w` in phase `p` (zero-work strands are
+    /// allowed — the simulators treat them as structurally empty). This is
+    /// the shape `asym-core::par` hands to the scheduler: measured per-lane
+    /// transfer costs become leaf weights, so the simulated execution time
+    /// reflects the algorithm's actual lane imbalance.
+    pub fn phases(phase_lane_work: &[Vec<u64>]) -> Task {
+        Task::Seq(
+            phase_lane_work
+                .iter()
+                .map(|lanes| Task::Par(lanes.iter().map(|&w| Task::Work(w)).collect()))
+                .collect(),
+        )
+    }
+
     /// A balanced binary fork-join tree with `leaves` leaves of `leaf_work`
     /// unit operations each, plus `spawn_work` at every internal node
     /// (the shape of a parallel divide-and-conquer like mergesort).
@@ -592,6 +608,27 @@ mod tests {
         let b = Task::balanced(4, 10, 1);
         assert_eq!(b.work(), 4 * 10 + 3); // 3 internal spawn nodes
         assert_eq!(b.depth(), 10 + 2); // two levels of spawn
+    }
+
+    #[test]
+    fn phase_tree_has_barrier_depth_and_summed_work() {
+        let t = Task::phases(&[vec![3, 5, 2], vec![4, 4, 4], vec![0, 7, 0]]);
+        assert_eq!(t.work(), 10 + 12 + 7);
+        // Depth: max of each phase, phases in sequence.
+        assert_eq!(t.depth(), 5 + 4 + 7);
+        // The tree executes: phase barriers mean no lane of phase p+1 starts
+        // before the slowest lane of phase p finishes.
+        let s = simulate_work_stealing(&t, 3, &mut rng());
+        assert!(s.time >= t.depth());
+        assert_eq!(s.work, t.work());
+        // Degenerate shapes complete (zero-work sibling strands still pass
+        // through the deque, costing at most one scheduler step).
+        assert_eq!(
+            simulate_work_stealing(&Task::phases(&[]), 2, &mut rng()).time,
+            0
+        );
+        let empty_lanes = Task::phases(&[vec![0, 0]]);
+        assert!(simulate_work_stealing(&empty_lanes, 2, &mut rng()).time <= 1);
     }
 
     #[test]

@@ -71,6 +71,51 @@ fn theorem_4_3_bounds_across_grid() {
 }
 
 #[test]
+fn mergesort_write_envelope_across_omega_grid() {
+    // The paper's write-efficient operating point sets k = ω, making the
+    // merge fan-in ωM/B; writes must then stay within the closed-form
+    // O((n/B)·log_{ωM/B}(n/B)) envelope for every ω — not just at the
+    // frozen golden counts. Empirically the bound is exact (each level
+    // writes each block once), so no slop constant is applied.
+    for (m, b, n) in [(64usize, 8usize, 20_000usize), (32, 4, 10_000)] {
+        let mut last_writes = u64::MAX;
+        for omega in [1u64, 2, 8, 32] {
+            let k = omega as usize;
+            let em =
+                EmMachine::new(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
+            let input = Workload::UniformRandom.generate(n, 4);
+            let v = EmVec::stage(&em, &input);
+            em.reset_stats();
+            let sorted = aem_mergesort(&em, v, k).expect("sort");
+            assert_eq!(sorted.len(), n);
+            let s = em.stats();
+            let blocks = n.div_ceil(b) as u64;
+            let levels = ceil_log_base((omega as usize * m) as f64 / b as f64, blocks as f64);
+            assert!(
+                s.block_writes <= blocks * levels,
+                "(m={m},b={b},omega={omega}): writes {} > (n/B)·log_{{ωM/B}}(n/B) = {}",
+                s.block_writes,
+                blocks * levels
+            );
+            // Reads pay for the write savings but stay within (k+1) per level.
+            assert!(
+                s.block_reads <= (omega + 1) * blocks * levels,
+                "(m={m},b={b},omega={omega}): reads {} out of the (k+1)-fold envelope {}",
+                s.block_reads,
+                (omega + 1) * blocks * levels
+            );
+            // Raising ω (with k = ω) can only shrink the write total.
+            assert!(
+                s.block_writes <= last_writes,
+                "(m={m},b={b},omega={omega}): writes must be non-increasing in ω"
+            );
+            last_writes = s.block_writes;
+            sorted.free(&em);
+        }
+    }
+}
+
+#[test]
 fn theorem_4_5_write_shape_across_grid() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for (m, b, k, n) in [

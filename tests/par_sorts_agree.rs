@@ -1,0 +1,192 @@
+//! Differential battery for the modeled parallel AEM sample sort: every
+//! lane count must produce byte-identical output to the RAM reference
+//! sorts, and the lane-merged transfer totals must be identical across
+//! lane counts (work preservation — the tentpole invariant of the parallel
+//! execution spine).
+
+use asym_core::par::{par_aem_sample_sort, par_samplesort_slack, ParSortRun};
+use asym_core::ram::tree_sort::tree_sort;
+use asym_model::workload::Workload;
+use asym_model::Record;
+use em_sim::{Backend, EmConfig, ParMachine};
+use proptest::prelude::*;
+
+/// The lane sweep: {1, 2, 4, 8}, capped by `ASYM_BENCH_THREADS` when set
+/// (the CI thread matrix runs this battery at caps 1 and 4). Shared with
+/// experiment E13 so the battery and the bench gate can never
+/// desynchronize; lane count 1 — the serial reference schedule — is always
+/// present.
+use asym_bench::e13_par_sort::lane_counts;
+
+fn machine(m: usize, b: usize, omega: u64, k: usize, lanes: usize) -> ParMachine {
+    // Honor the CI backend matrix: the battery must hold on file-backed
+    // lanes exactly as on the slab arena.
+    ParMachine::with_backend(
+        EmConfig::new(m, b, omega).with_slack(par_samplesort_slack(m, b, k)),
+        lanes,
+        Backend::from_env(),
+    )
+    .expect("build lanes")
+}
+
+/// Run the modeled sort on `lanes` lanes and return the run after checking
+/// the stores come back clean.
+fn run(input: &[Record], m: usize, b: usize, k: usize, lanes: usize, seed: u64) -> ParSortRun {
+    let par = machine(m, b, 8, k, lanes);
+    let run = par_aem_sample_sort(&par, input, k, seed).expect("modeled par sort");
+    assert_eq!(par.live_blocks(), 0, "run must release every block");
+    run
+}
+
+/// The full differential check for one input: outputs equal the RAM
+/// reference for every lane count; merged reads and writes equal the
+/// one-lane serial schedule's for every lane count.
+fn check_all_lane_counts(name: &str, input: &[Record], m: usize, b: usize, k: usize) {
+    let mut expect = input.to_vec();
+    expect.sort();
+    // The RAM tree sort is the in-repo reference, but it requires unique
+    // records; truly identical records fall back to the std sort alone.
+    if expect.windows(2).all(|w| w[0] != w[1]) {
+        assert_eq!(tree_sort(input), expect, "{name}: RAM reference disagrees");
+    }
+    let serial = run(input, m, b, k, 1, 0xD1FF);
+    assert_eq!(serial.output, expect, "{name}: serial schedule wrong");
+    for lanes in lane_counts().into_iter().skip(1) {
+        let parallel = run(input, m, b, k, lanes, 0xD1FF);
+        assert_eq!(
+            parallel.output, expect,
+            "{name}: output differs on {lanes} lanes"
+        );
+        assert_eq!(
+            parallel.merged.block_writes, serial.merged.block_writes,
+            "{name}: write total not preserved on {lanes} lanes"
+        );
+        assert_eq!(
+            parallel.merged.block_reads, serial.merged.block_reads,
+            "{name}: read total not preserved on {lanes} lanes"
+        );
+    }
+}
+
+#[test]
+fn adversarial_inputs_agree_across_lane_counts() {
+    let (m, b, k) = (32usize, 4usize, 2usize);
+    let n = 3000usize;
+    let cases: Vec<(&str, Vec<Record>)> = vec![
+        ("sorted", Workload::Sorted.generate(n, 1)),
+        ("reversed", Workload::Reversed.generate(n, 2)),
+        ("zipf", Workload::Zipf.generate(n, 3)),
+        ("organ-pipe", Workload::OrganPipe.generate(n, 4)),
+        (
+            // All records share one key; payloads keep the pairs unique
+            // (the repo-wide record convention).
+            "all-duplicate-keys",
+            (0..n as u64).map(|i| Record::new(42, i)).collect(),
+        ),
+        (
+            // Truly identical records: exercises the degenerate-skew
+            // stream-copy path (one all-equal bucket).
+            "all-identical",
+            vec![Record::new(7, 7); n],
+        ),
+    ];
+    for (name, input) in &cases {
+        check_all_lane_counts(name, input, m, b, k);
+    }
+}
+
+#[test]
+fn block_boundary_lengths_agree_across_lane_counts() {
+    let (m, b, k) = (32usize, 4usize, 1usize);
+    for n in [0usize, 1, b - 1, b, b + 1, 2 * b + 1, m, m + 1] {
+        let input = Workload::UniformRandom.generate(n, n as u64 + 9);
+        check_all_lane_counts(&format!("boundary-n{n}"), &input, m, b, k);
+    }
+}
+
+#[test]
+fn mem_and_file_lanes_agree_exactly() {
+    let (m, b, k) = (32usize, 4usize, 2usize);
+    let input = Workload::UniformRandom.generate(1500, 77);
+    let lanes = *lane_counts().last().expect("non-empty sweep");
+    let cfg = EmConfig::new(m, b, 8).with_slack(par_samplesort_slack(m, b, k));
+    let mem = ParMachine::with_backend(cfg, lanes, Backend::Mem).expect("mem lanes");
+    let file = ParMachine::with_backend(cfg, lanes, Backend::File).expect("file lanes");
+    let mem_run = par_aem_sample_sort(&mem, &input, k, 5).expect("mem");
+    let file_run = par_aem_sample_sort(&file, &input, k, 5).expect("file");
+    assert_eq!(mem_run.output, file_run.output);
+    assert_eq!(
+        mem_run.lane_stats, file_run.lane_stats,
+        "modeled per-lane costs must not depend on the backend"
+    );
+    assert_eq!(file.live_blocks(), 0);
+}
+
+#[test]
+fn span_never_exceeds_serial_and_work_is_conserved_in_cost_algebra() {
+    let (m, b, k) = (64usize, 8usize, 2usize);
+    let input = Workload::UniformRandom.generate(6000, 11);
+    let serial = run(&input, m, b, k, 1, 3);
+    for lanes in lane_counts().into_iter().skip(1) {
+        let parallel = run(&input, m, b, k, lanes, 3);
+        assert!(
+            parallel.cost.depth <= serial.cost.depth,
+            "{lanes} lanes: span {} beyond serial {}",
+            parallel.cost.depth,
+            serial.cost.depth
+        );
+        // The cost algebra's work components are exactly the machine
+        // counters, merged.
+        assert_eq!(parallel.cost.reads, parallel.merged.block_reads);
+        assert_eq!(parallel.cost.writes, parallel.merged.block_writes);
+        // The scheduler simulation executed exactly the modeled work.
+        assert_eq!(parallel.sched.work, parallel.cost.work(8));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_inputs_agree_across_lane_counts(
+        pairs in prop::collection::vec((0u64..64, 0u64..1000), 0..900),
+        seed in 0u64..1000,
+    ) {
+        // Duplicate keys are frequent (64 distinct keys); payloads keep the
+        // (key, payload) pairs unique per the repo-wide record convention.
+        let mut input: Vec<Record> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, p))| Record::new(k, p * 1000 + i as u64))
+            .collect();
+        input.sort();
+        input.dedup();
+        let mut expect = input.clone();
+        expect.sort();
+        // Shuffle deterministically so the input isn't pre-sorted.
+        let n = input.len().max(1);
+        for i in 0..input.len() {
+            let j = (seed as usize + 7 * i) % n;
+            input.swap(i, j);
+        }
+
+        let serial = run(&input, 16, 4, 1, 1, seed);
+        prop_assert_eq!(&serial.output, &expect);
+        for lanes in lane_counts().into_iter().skip(1) {
+            let parallel = run(&input, 16, 4, 1, lanes, seed);
+            prop_assert_eq!(&parallel.output, &expect);
+            prop_assert_eq!(
+                parallel.merged.block_writes,
+                serial.merged.block_writes,
+                "lanes={}: writes not preserved",
+                lanes
+            );
+            prop_assert_eq!(
+                parallel.merged.block_reads,
+                serial.merged.block_reads,
+                "lanes={}: reads not preserved",
+                lanes
+            );
+        }
+    }
+}
