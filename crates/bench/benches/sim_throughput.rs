@@ -25,15 +25,11 @@
 
 use asym_bench::json::{json_path_from_args, BenchReport};
 use asym_bench::Scale;
-use asym_core::em::mergesort::mergesort_slack;
-use asym_core::em::samplesort::samplesort_slack;
-use asym_core::em::{aem_mergesort, aem_samplesort};
+use asym_core::sort::{self, Algorithm, SortSpec};
 use asym_model::workload::Workload;
 use asym_model::Record;
 use criterion::{BenchmarkId, Criterion};
 use em_sim::{EmConfig, EmStats, EmVec, EmWriter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// Machine geometry shared by every workload (matches the E3 tables).
@@ -41,12 +37,14 @@ const M: usize = 64;
 const B: usize = 8;
 const OMEGA: u64 = 8;
 
-/// One simulator workload: stable id, records per run, and a runner that
-/// executes one full pass over a fresh machine and returns its modeled
+/// One simulator workload: stable id, the algorithm tag for the JSON
+/// report (empty for non-sort workloads), records per run, and a runner
+/// that executes one full pass over a fresh machine and returns its modeled
 /// transfer stats (identical across backends by construction — the JSON
 /// report freezes them so CI can diff against the committed baseline).
 struct Case {
     id: &'static str,
+    algorithm: &'static str,
     n: usize,
     run: Box<dyn Fn() -> EmStats>,
 }
@@ -67,6 +65,7 @@ fn raw_stream_case(n: usize) -> Case {
     let input: Vec<Record> = Workload::UniformRandom.generate(n, 0x5EED);
     Case {
         id: "raw-stream",
+        algorithm: "",
         n,
         run: Box::new(move || {
             let em = asym_bench::machine(EmConfig::new(M, B, OMEGA));
@@ -84,6 +83,12 @@ fn raw_stream_case(n: usize) -> Case {
     }
 }
 
+/// The job description a sort case runs (backend from `ASYM_BENCH_BACKEND`,
+/// seed matching the workload's so the splitter schedule is frozen).
+fn sort_spec(algorithm: Algorithm, k: usize, seed: u64) -> SortSpec {
+    asym_bench::sort_spec(algorithm, M, B, OMEGA, k, seed)
+}
+
 fn mergesort_case(k: usize, n: usize) -> Case {
     let input: Vec<Record> = Workload::UniformRandom.generate(n, 0xE3);
     let id: &'static str = match k {
@@ -92,35 +97,30 @@ fn mergesort_case(k: usize, n: usize) -> Case {
         16 => "e3-mergesort-k16",
         _ => unreachable!("fixed k sweep"),
     };
+    let spec = sort_spec(Algorithm::Mergesort, k, 0xE3);
     Case {
         id,
+        algorithm: Algorithm::Mergesort.name(),
         n,
         run: Box::new(move || {
-            let em = asym_bench::machine(
-                EmConfig::new(M, B, OMEGA).with_slack(mergesort_slack(M, B, k)),
-            );
-            let v = EmVec::stage(&em, &input);
-            let sorted = aem_mergesort(&em, v, k).expect("mergesort");
-            assert_eq!(sorted.len(), n);
-            em.stats()
+            let outcome = sort::run(&spec, &input).expect("mergesort");
+            assert_eq!(outcome.output.len(), n);
+            outcome.stats
         }),
     }
 }
 
 fn samplesort_case(k: usize, n: usize) -> Case {
     let input: Vec<Record> = Workload::UniformRandom.generate(n, 0xE5);
+    let spec = sort_spec(Algorithm::Samplesort, k, 0xE5);
     Case {
         id: "e5-samplesort-k4",
+        algorithm: Algorithm::Samplesort.name(),
         n,
         run: Box::new(move || {
-            let em = asym_bench::machine(
-                EmConfig::new(M, B, OMEGA).with_slack(samplesort_slack(M, B, k)),
-            );
-            let v = EmVec::stage(&em, &input);
-            let mut rng = StdRng::seed_from_u64(0xE5);
-            let sorted = aem_samplesort(&em, v, k, &mut rng).expect("samplesort");
-            assert_eq!(sorted.len(), n);
-            em.stats()
+            let outcome = sort::run(&spec, &input).expect("samplesort");
+            assert_eq!(outcome.output.len(), n);
+            outcome.stats
         }),
     }
 }
@@ -156,7 +156,7 @@ fn main() {
         let start = Instant::now();
         let stats = (case.run)();
         let secs = start.elapsed().as_secs_f64();
-        report.push_with_stats(case.id, case.n as u64, secs, stats);
+        report.push_sort(case.id, case.algorithm, case.n as u64, secs, stats);
     }
     report.write_to(&json_path).expect("write bench json");
     println!("wrote bench report to {}", json_path.display());

@@ -1,10 +1,15 @@
 //! E3 — Theorem 4.3, Corollary 4.4 and Appendix A: the AEM mergesort's
 //! measured transfers against the closed-form bounds, and the k sweep
 //! showing the improvement region k/log k < ω/log(M/B) with its crossover.
+//!
+//! Runs go through the unified job API (`SortSpec` + the registry), so the
+//! storage backend arrives via `SortSpec::from_env` like every consumer;
+//! the pointer-placement ablation keeps its dedicated engine entry point
+//! (`aem_mergesort_opts`), which the adapter wraps with default options.
 
 use crate::Scale;
-use asym_core::em::mergesort::{aem_mergesort_opts, MergeOpts};
-use asym_core::em::{aem_mergesort, mergesort_slack};
+use asym_core::em::mergesort::{aem_mergesort_opts, mergesort_slack, MergeOpts};
+use asym_core::sort::Algorithm;
 use asym_model::stats::ceil_log_base;
 use asym_model::table::{f2, Table};
 use asym_model::workload::Workload;
@@ -18,12 +23,8 @@ fn measure(
     k: usize,
     input: &[asym_model::Record],
 ) -> (u64, u64, u64) {
-    let em = crate::machine(EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k)));
-    let v = EmVec::stage(&em, input);
-    let sorted = aem_mergesort(&em, v, k).expect("sort");
-    assert_eq!(sorted.len(), input.len());
-    let s = em.stats();
-    (s.block_reads, s.block_writes, em.io_cost())
+    let spec = crate::sort_spec(Algorithm::Mergesort, m, b, omega, k, 0xE3);
+    crate::measure_sort(&spec, input)
 }
 
 /// Run E3.
@@ -100,7 +101,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
     sweep.note("the winning k values sit inside the k/log k < omega/log(M/B) region");
 
     // Table 3: ablation — run pointers kept in secondary memory (the remark
-    // after Lemma 4.1: "this will double the number of writes").
+    // after Lemma 4.1: "this will double the number of writes"). The
+    // ablation knob lives on the engine, not the job spec, so this table
+    // drives `aem_mergesort_opts` directly.
     let mut ablation = Table::new(
         format!("E3c: pointer-placement ablation (M={m}, B={b}, n={n}, omega=8)"),
         &[

@@ -5,13 +5,24 @@
 
 use crate::Scale;
 use asym_core::em::pq::{pq_slack, AemPriorityQueue};
-use asym_core::em::{aem_heapsort, aem_mergesort, mergesort_slack};
+use asym_core::sort::Algorithm;
 use asym_model::stats::log_base;
 use asym_model::table::{f2, f3, Table};
 use asym_model::workload::Workload;
 use asym_model::Record;
-use em_sim::{EmConfig, EmVec};
+use em_sim::EmConfig;
 use rand::{Rng, SeedableRng};
+
+/// One registry run at the E6 geometry; returns (reads, writes, cost).
+fn measure(
+    algorithm: Algorithm,
+    m: usize,
+    b: usize,
+    k: usize,
+    input: &[Record],
+) -> (u64, u64, u64) {
+    crate::measure_sort(&crate::sort_spec(algorithm, m, b, 8, k, 0xE6), input)
+}
 
 /// Run E6.
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -98,22 +109,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     let input = Workload::UniformRandom.generate(n, 0x6E);
     for k in [1usize, 2, 4] {
-        let em = crate::machine(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
-        let v = EmVec::stage(&em, &input);
-        let sorted = aem_heapsort(&em, v, k).expect("heapsort");
-        assert_eq!(sorted.len(), n);
-        let s = em.stats();
-        let heap_cost = em.io_cost();
-        let em2 = crate::machine(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
-        let v2 = EmVec::stage(&em2, &input);
-        aem_mergesort(&em2, v2, k).expect("mergesort");
+        let (heap_reads, heap_writes, heap_cost) = measure(Algorithm::Heapsort, m, b, k, &input);
+        let (_, _, merge_cost) = measure(Algorithm::Mergesort, m, b, k, &input);
         totals.row(&[
             k.to_string(),
-            s.block_reads.to_string(),
-            s.block_writes.to_string(),
+            heap_reads.to_string(),
+            heap_writes.to_string(),
             heap_cost.to_string(),
-            em2.io_cost().to_string(),
-            f2(heap_cost as f64 / em2.io_cost() as f64),
+            merge_cost.to_string(),
+            f2(heap_cost as f64 / merge_cost as f64),
         ]);
     }
     totals.note("heap/merge is a bounded constant: the dynamic structure costs a constant factor");

@@ -12,12 +12,17 @@
 //!   "scale": "smoke",
 //!   "backend": "mem",
 //!   "entries": [
-//!     { "id": "raw-stream", "records": 50000, "seconds": 0.0042,
+//!     { "id": "e3-mergesort-k4", "algorithm": "aem-mergesort",
+//!       "records": 50000, "seconds": 0.0042,
 //!       "records_per_sec": 11904761.9,
 //!       "reads": 6250, "writes": 6250, "peak_memory": 16 }
 //!   ]
 //! }
 //! ```
+//!
+//! `algorithm` is the `Sorter::name` of the unified sort API's adapter that
+//! produced the entry (empty for workloads that are not sort jobs); the
+//! checker flags an entry whose algorithm silently changed.
 //!
 //! `reads` / `writes` / `peak_memory` are the *modeled* [`EmStats`] of the
 //! run — deterministic for a fixed workload and machine geometry, so the
@@ -38,6 +43,9 @@ use std::path::{Path, PathBuf};
 pub struct BenchEntry {
     /// Stable workload identifier (e.g. `e3-mergesort-k4`).
     pub id: String,
+    /// The `Sorter::name` of the algorithm the workload ran through the
+    /// unified sort API (empty for non-sort workloads like `raw-stream`).
+    pub algorithm: String,
     /// Records processed by one run.
     pub records: u64,
     /// Wall-clock seconds for one run.
@@ -101,10 +109,24 @@ impl BenchReport {
         self.push_with_stats(id, records, seconds, EmStats::default());
     }
 
-    /// Record one measurement plus the modeled transfer stats of the run.
+    /// Record one measurement plus the modeled transfer stats of the run
+    /// (no algorithm tag — for workloads that are not sort jobs).
     pub fn push_with_stats(
         &mut self,
         id: impl Into<String>,
+        records: u64,
+        seconds: f64,
+        stats: EmStats,
+    ) {
+        self.push_sort(id, "", records, seconds, stats);
+    }
+
+    /// Record one sort-job measurement: stats plus the `Sorter::name` of
+    /// the algorithm that produced them.
+    pub fn push_sort(
+        &mut self,
+        id: impl Into<String>,
+        algorithm: impl Into<String>,
         records: u64,
         seconds: f64,
         stats: EmStats,
@@ -116,6 +138,7 @@ impl BenchReport {
         };
         self.entries.push(BenchEntry {
             id: id.into(),
+            algorithm: algorithm.into(),
             records,
             seconds,
             records_per_sec,
@@ -139,9 +162,10 @@ impl BenchReport {
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{ \"id\": {}, \"records\": {}, \"seconds\": {}, \"records_per_sec\": {}, \
-                 \"reads\": {}, \"writes\": {}, \"peak_memory\": {} }}{}\n",
+                "    {{ \"id\": {}, \"algorithm\": {}, \"records\": {}, \"seconds\": {}, \
+                 \"records_per_sec\": {}, \"reads\": {}, \"writes\": {}, \"peak_memory\": {} }}{}\n",
                 quote(&e.id),
+                quote(&e.algorithm),
                 e.records,
                 number(e.seconds),
                 number(e.records_per_sec),
@@ -162,8 +186,9 @@ impl BenchReport {
     }
 
     /// Parse a report back from its JSON rendering. Tolerates reports written
-    /// before a field existed (`backend` defaults to `mem`, modeled stats to
-    /// zero) so freshly-gated code can still read older committed baselines.
+    /// before a field existed (`backend` defaults to `mem`, `algorithm` to
+    /// empty, modeled stats to zero) so freshly-gated code can still read
+    /// older committed baselines.
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let v = Json::parse(text)?;
         let obj = v.as_obj().ok_or("top level must be an object")?;
@@ -179,6 +204,7 @@ impl BenchReport {
             let eo = e.as_obj().ok_or("entry must be an object")?;
             report.entries.push(BenchEntry {
                 id: get_str(eo, "id").ok_or("entry missing \"id\"")?,
+                algorithm: get_str(eo, "algorithm").unwrap_or_default(),
                 records: get_u64(eo, "records").ok_or("entry missing \"records\"")?,
                 seconds: get_f64(eo, "seconds").ok_or("entry missing \"seconds\"")?,
                 records_per_sec: get_f64(eo, "records_per_sec")
@@ -236,6 +262,15 @@ pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport, tolerance: f
                 b.id, b.records, f.records
             ));
             continue;
+        }
+        // A workload silently switching algorithms is a harness regression
+        // even when the counts happen to agree. Baselines written before
+        // the field existed carry "" and are not compared.
+        if !b.algorithm.is_empty() && f.algorithm != b.algorithm {
+            violations.push(format!(
+                "{}: algorithm changed {:?} -> {:?}",
+                b.id, b.algorithm, f.algorithm
+            ));
         }
         for (what, was, now) in [
             ("reads", b.reads, f.reads),
@@ -593,6 +628,28 @@ mod tests {
         let mut r = BenchReport::new("t", "smoke");
         r.push_with_stats("a", 100, 0.1, stats(10, 10, 8));
         assert!(compare_reports(&r, &r.clone(), 0.25).is_empty());
+    }
+
+    #[test]
+    fn algorithm_field_roundtrips_and_gates() {
+        let mut base = BenchReport::new("t", "smoke");
+        base.push_sort("e3", "aem-mergesort", 100, 0.1, stats(10, 10, 8));
+        let json = base.to_json();
+        assert!(json.contains("\"algorithm\": \"aem-mergesort\""));
+        let parsed = BenchReport::from_json(&json).expect("parse");
+        assert_eq!(parsed.entries()[0].algorithm, "aem-mergesort");
+
+        // Same counts, different algorithm: the gate trips.
+        let mut fresh = BenchReport::new("t", "smoke");
+        fresh.push_sort("e3", "aem-samplesort", 100, 0.1, stats(10, 10, 8));
+        let v = compare_reports(&base, &fresh, 0.25);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("algorithm changed"), "{v:?}");
+
+        // A pre-field baseline ("" algorithm) does not gate.
+        let mut old = BenchReport::new("t", "smoke");
+        old.push_with_stats("e3", 100, 0.1, stats(10, 10, 8));
+        assert!(compare_reports(&old, &fresh, 0.25).is_empty());
     }
 
     #[test]

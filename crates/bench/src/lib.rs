@@ -20,7 +20,9 @@
 //! construction; the backend matrix in CI proves the tables don't silently
 //! depend on the in-memory store.
 
+use asym_core::sort::{Algorithm, SortSpec};
 use asym_model::table::Table;
+use asym_model::Record;
 use em_sim::{Backend, EmConfig, EmMachine};
 
 pub mod json;
@@ -82,10 +84,23 @@ impl Scale {
 
 /// The storage backend selected by `ASYM_BENCH_BACKEND` (default: `mem`).
 ///
-/// Panics on an unrecognized value so a typo can't silently fall back to the
-/// in-memory store in a backend-matrix CI run.
+/// One of two env readers the whole harness uses (the other is
+/// [`thread_cap_from_env`]); both route through the typed parsers in
+/// `asym_core::sort` — the single place `ASYM_BENCH_*` values are
+/// interpreted. Panics on an unrecognized value so a typo can't silently
+/// fall back to the in-memory store in a backend-matrix CI run.
 pub fn backend_from_env() -> Backend {
-    Backend::from_env()
+    asym_core::sort::env_backend()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or_default()
+}
+
+/// The lane cap selected by `ASYM_BENCH_THREADS` (`None` = uncapped).
+///
+/// Panics on an unparsable value — like the backend selector, a typo must
+/// not silently run the full sweep in a thread-matrix CI job.
+pub fn thread_cap_from_env() -> Option<usize> {
+    asym_core::sort::env_thread_cap().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Build an [`EmMachine`] on the backend selected by `ASYM_BENCH_BACKEND`.
@@ -97,6 +112,42 @@ pub fn backend_from_env() -> Backend {
 /// be worse than a crash.
 pub fn machine(cfg: EmConfig) -> EmMachine {
     EmMachine::with_backend(cfg, backend_from_env()).expect("create bench machine backend")
+}
+
+/// Build a sort-job description on the env-selected backend — the one
+/// spec-construction path the sort experiments and bench targets share
+/// (experiments with extra knobs, like E13's lanes and steal charging,
+/// compose `SortSpec::builder` directly). Panics on an unparsable
+/// `ASYM_BENCH_*` value or an invalid spec, like [`machine`] — a harness
+/// typo must crash, not silently measure the wrong configuration.
+pub fn sort_spec(
+    algorithm: Algorithm,
+    m: usize,
+    b: usize,
+    omega: u64,
+    k: usize,
+    seed: u64,
+) -> SortSpec {
+    SortSpec::builder(algorithm, m, b, omega)
+        .k(k)
+        .seed(seed)
+        .from_env()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .build()
+        .unwrap_or_else(|e| panic!("{algorithm} bench spec: {e}"))
+}
+
+/// Run `spec` through the sorter registry, assert record conservation, and
+/// return the three numbers every sort table tabulates:
+/// `(reads, writes, io_cost)`.
+pub fn measure_sort(spec: &SortSpec, input: &[Record]) -> (u64, u64, u64) {
+    let outcome = asym_core::sort::run(spec, input).expect("sort");
+    assert_eq!(outcome.output.len(), input.len());
+    (
+        outcome.stats.block_reads,
+        outcome.stats.block_writes,
+        outcome.io_cost(),
+    )
 }
 
 /// An experiment: an id, the paper claim it reproduces, and a runner.

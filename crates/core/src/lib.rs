@@ -20,6 +20,10 @@
 //!   their symmetric counterparts as baselines.
 //! * [`par`] — a real multi-threaded sample sort (crossbeam scoped threads)
 //!   for wall-clock benchmarking.
+//! * [`sort`] — the unified job API: a validated [`sort::SortSpec`]
+//!   description, the [`sort::Sorter`] trait with one adapter per AEM sort,
+//!   and the [`sort::sorters`] registry. The per-algorithm free functions
+//!   are deprecated in its favor.
 //!
 //! Every algorithm runs against an instrumented substrate (`asym-model`
 //! counters, `em-sim` block machine, or `cache-sim` cache) so experiments
@@ -31,3 +35,4 @@ pub mod em;
 pub mod par;
 pub mod pram;
 pub mod ram;
+pub mod sort;

@@ -40,7 +40,7 @@
 //! [`Cost`] strands, a phase is their parallel composition (depth maxes),
 //! and the run's span is the sequential composition over phases. The same
 //! per-lane weights feed a [`Task::phases`] tree executed by
-//! [`simulate_work_stealing`], so the reported time includes the
+//! [`wd_sim::simulate_work_stealing`], so the reported time includes the
 //! scheduler's actual lane imbalance and steal traffic.
 //!
 //! **Work-preservation invariant**: merged `(reads, writes)` across lanes
@@ -66,12 +66,12 @@
 //! likewise uncharged: the distributed sorted runs are the output.
 
 use super::splitters::{bucket_of, dedup_splitters, splitter_positions};
-use crate::em::{aem_mergesort, mergesort_slack};
+use crate::em::mergesort::{aem_mergesort_opts, mergesort_slack, MergeOpts};
 use asym_model::{ModelError, Record, Result};
 use em_sim::{EmStats, EmVec, EmWriter, ParMachine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wd_sim::{simulate_work_stealing, Cost, StealStats, Task};
+use wd_sim::{simulate_work_stealing_traced, Cost, StealStats, Task};
 
 /// Extra primary memory each lane needs beyond `M`: the serial mergesort's
 /// slack (splitter-sort and oversized-bucket phases) or the splitter table
@@ -152,12 +152,43 @@ impl<'a> PhaseLog<'a> {
 /// writes are additionally independent of the lane count (see the module
 /// docs). Every intermediate block is released, so a run leaves the lanes'
 /// stores exactly as it found them.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified job API: `asym_core::sort::SortSpec` + the \
+            `par-aem-samplesort` entry of `asym_core::sort::sorters()`"
+)]
 pub fn par_aem_sample_sort(
     par: &ParMachine,
     input: &[Record],
     k: usize,
     seed: u64,
 ) -> Result<ParSortRun> {
+    par_sample_sort_run(par, input, k, seed, false).map(|(run, _)| run)
+}
+
+/// The parallel sample-sort engine behind both the deprecated free function
+/// and the `sort::Sorter` adapter (one code path, so the two are
+/// cost-identical by construction).
+///
+/// When `charge_steals` is set, the §2 cache-warm-up charge is folded into
+/// the lane stats after the scheduler simulation: each successful steal
+/// charges its *thief* lane `M/B` block reads (reloading a primary memory's
+/// worth of working set) and, pessimistically, `M/B` block writes (the
+/// stolen working set's lines may be dirty) — the `Qp ≤ Q1 + O(p·D·M/B)`
+/// accounting. The charge is appended as a final `steal-warmup` phase so
+/// `phase_costs` still compose to `cost` and `cost.{reads,writes}` still
+/// equal the merged machine counters; the scheduler simulation itself runs
+/// on the *uncharged* phase tree (the warm-up is a cache-accounting overlay
+/// on the schedule, not extra scheduled work). The second return value is
+/// the total warm-up charge (zero when disabled), so callers can recover
+/// the schedule-invariant base counts by subtraction.
+pub(crate) fn par_sample_sort_run(
+    par: &ParMachine,
+    input: &[Record],
+    k: usize,
+    seed: u64,
+    charge_steals: bool,
+) -> Result<(ParSortRun, EmStats)> {
     assert!(k >= 1, "k must be at least 1");
     let cfg = par.cfg();
     let (m, b) = (cfg.m, cfg.b);
@@ -170,14 +201,17 @@ pub fn par_aem_sample_sort(
     }
     let n = input.len();
     if n == 0 {
-        return Ok(ParSortRun {
-            output: Vec::new(),
-            lane_stats: par.lane_stats(),
-            merged: par.merged_stats(),
-            phase_costs: Vec::new(),
-            cost: Cost::ZERO,
-            sched: StealStats::default(),
-        });
+        return Ok((
+            ParSortRun {
+                output: Vec::new(),
+                lane_stats: par.lane_stats(),
+                merged: par.merged_stats(),
+                phase_costs: Vec::new(),
+                cost: Cost::ZERO,
+                sched: StealStats::default(),
+            },
+            EmStats::default(),
+        ));
     }
     let mut log = PhaseLog::new(par);
 
@@ -230,7 +264,7 @@ pub fn par_aem_sample_sort(
     } else {
         let mut writer = EmWriter::new(lane0)?;
         writer.extend(sample.drain(..));
-        let sorted = aem_mergesort(lane0, writer.finish(), 1)?;
+        let sorted = aem_mergesort_opts(lane0, writer.finish(), 1, MergeOpts::default())?;
         let positions = splitter_positions(sorted.len(), num_buckets);
         let mut picks = Vec::with_capacity(positions.len());
         {
@@ -330,7 +364,10 @@ pub fn par_aem_sample_sort(
             // the bucket content. Inherits the repo-wide record convention:
             // `(key, payload)` pairs are unique (duplicates share keys, not
             // payloads), which the merge queue's `lastV` discipline needs.
-            sorted_runs.push((owner, aem_mergesort(lane, run, k)?));
+            sorted_runs.push((
+                owner,
+                aem_mergesort_opts(lane, run, k, MergeOpts::default())?,
+            ));
         }
     }
     log.barrier("bucket-sort");
@@ -345,14 +382,8 @@ pub fn par_aem_sample_sort(
     }
     debug_assert_eq!(output.len(), n, "sort must conserve records");
 
-    // Costs: phases in sequence, lanes in parallel within a phase; the same
-    // per-lane depths drive the work-stealing simulation.
-    let phase_costs: Vec<(&'static str, Cost)> = log
-        .phases
-        .iter()
-        .map(|(name, lanes)| (*name, Cost::par_all(lanes.iter().copied())))
-        .collect();
-    let cost = Cost::seq_all(phase_costs.iter().map(|(_, c)| *c));
+    // Scheduler simulation over the measured (uncharged) phase tree: the
+    // same per-lane depths the cost algebra uses become leaf weights.
     let lane_depths: Vec<Vec<u64>> = log
         .phases
         .iter()
@@ -360,16 +391,49 @@ pub fn par_aem_sample_sort(
         .collect();
     let task = Task::phases(&lane_depths);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5C4E_D01E);
-    let sched = simulate_work_stealing(&task, p, &mut rng);
+    let trace = simulate_work_stealing_traced(&task, p, &mut rng);
+    let sched = trace.stats;
 
-    Ok(ParSortRun {
-        output,
-        lane_stats: par.lane_stats(),
-        merged: par.merged_stats(),
-        phase_costs,
-        cost,
-        sched,
-    })
+    // §2 steal-aware cache warm-up charge (knob; see the function docs).
+    let mut warmup = EmStats::default();
+    if charge_steals {
+        let mb = (m.div_ceil(b)) as u64;
+        let omega = par.omega();
+        let strands: Vec<Cost> = trace
+            .steals_by_thief
+            .iter()
+            .enumerate()
+            .map(|(w, &steals)| {
+                let blocks = steals * mb;
+                par.lane(w).charge_reads(blocks);
+                par.lane(w).charge_writes(blocks);
+                warmup.block_reads += blocks;
+                warmup.block_writes += blocks;
+                Cost::strand(blocks, blocks, omega)
+            })
+            .collect();
+        log.phases.push(("steal-warmup", strands));
+    }
+
+    // Costs: phases in sequence, lanes in parallel within a phase.
+    let phase_costs: Vec<(&'static str, Cost)> = log
+        .phases
+        .iter()
+        .map(|(name, lanes)| (*name, Cost::par_all(lanes.iter().copied())))
+        .collect();
+    let cost = Cost::seq_all(phase_costs.iter().map(|(_, c)| *c));
+
+    Ok((
+        ParSortRun {
+            output,
+            lane_stats: par.lane_stats(),
+            merged: par.merged_stats(),
+            phase_costs,
+            cost,
+            sched,
+        },
+        warmup,
+    ))
 }
 
 #[cfg(test)]
@@ -480,6 +544,45 @@ mod tests {
             assert_eq!(run.output, input);
             assert_eq!(machine.live_blocks(), 0);
         }
+    }
+
+    #[test]
+    fn steal_warmup_charge_folds_into_lane_stats() {
+        let input = Workload::UniformRandom.generate(6000, 17);
+        let base = {
+            let machine = par(32, 4, 8, 1, 4);
+            par_sample_sort_run(&machine, &input, 1, 23, false).expect("base")
+        };
+        let charged = {
+            let machine = par(32, 4, 8, 1, 4);
+            par_sample_sort_run(&machine, &input, 1, 23, true).expect("charged")
+        };
+        assert_eq!(base.1, EmStats::default(), "knob off charges nothing");
+        let (run, warmup) = charged;
+        // Same schedule, same output, same scheduler run.
+        assert_eq!(run.output, base.0.output);
+        assert_eq!(run.sched, base.0.sched);
+        // Warm-up totals: M/B reads + M/B writes per successful steal.
+        let mb = 32u64 / 4;
+        assert_eq!(warmup.block_reads, run.sched.steals * mb);
+        assert_eq!(warmup.block_writes, run.sched.steals * mb);
+        assert!(run.sched.steals > 0, "4 lanes with imbalance should steal");
+        // Folded into the machine counters: merged = base + warm-up, and the
+        // cost algebra stays consistent with the counters.
+        assert_eq!(
+            run.merged.block_reads,
+            base.0.merged.block_reads + warmup.block_reads
+        );
+        assert_eq!(
+            run.merged.block_writes,
+            base.0.merged.block_writes + warmup.block_writes
+        );
+        assert_eq!(run.cost.reads, run.merged.block_reads);
+        assert_eq!(run.cost.writes, run.merged.block_writes);
+        assert_eq!(run.phase_costs.len(), 6, "steal-warmup appended as a phase");
+        assert_eq!(run.phase_costs[5].0, "steal-warmup");
+        // Per-lane: lane stats sum to the merged aggregate still.
+        assert_eq!(EmStats::merge_all(run.lane_stats.clone()), run.merged);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! The [`Sorter`] trait, one adapter per AEM algorithm, the [`sorters`]
+//! registry, and the unified [`SortOutcome`].
+
+use super::spec::{Algorithm, SortSpec};
+use crate::em::heapsort::heapsort_run;
+use crate::em::mergesort::{aem_mergesort_opts, MergeOpts};
+use crate::em::samplesort::samplesort_run;
+use crate::par::aem_sample_sort::par_sample_sort_run;
+use asym_model::{CostReport, ModelError, Record, Result};
+use em_sim::{EmMachine, EmStats, EmVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wd_sim::{Cost, StealStats};
+
+/// Everything one sort job produced, regardless of algorithm: the sorted
+/// records, the merged transfer statistics, their ω-weighted rendering, and
+/// — for parallel runs — the per-lane / per-phase / scheduler detail that
+/// used to live in `par::ParSortRun`.
+#[derive(Clone, Debug)]
+pub struct SortOutcome {
+    /// The sorted records (gathered to host memory, uncharged — the
+    /// disk-resident runs are the algorithm's output).
+    pub output: Vec<Record>,
+    /// Transfer statistics, merged across lanes for parallel runs. Includes
+    /// the steal warm-up charge when the spec enables it.
+    pub stats: EmStats,
+    /// `stats` rendered under the spec's ω.
+    pub report: CostReport,
+    /// Parallel-only detail (`None` for the sequential algorithms).
+    pub parallel: Option<ParData>,
+}
+
+impl SortOutcome {
+    /// Total asymmetric I/O cost `reads + ω·writes`.
+    pub fn io_cost(&self) -> u64 {
+        self.report.total()
+    }
+
+    /// The transfer stats with any steal warm-up charge subtracted back out
+    /// — the schedule-invariant base counts E13's work-preservation claim
+    /// is about. Identical to `stats` for sequential runs and for parallel
+    /// runs with the knob off.
+    pub fn base_stats(&self) -> EmStats {
+        match &self.parallel {
+            Some(par) => EmStats {
+                block_reads: self.stats.block_reads - par.steal_warmup.block_reads,
+                block_writes: self.stats.block_writes - par.steal_warmup.block_writes,
+                peak_memory: self.stats.peak_memory,
+            },
+            None => self.stats,
+        }
+    }
+}
+
+/// Per-lane, per-phase, and scheduler measurements of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParData {
+    /// Final per-lane transfer stats, in worker order (warm-up included
+    /// when charged).
+    pub lane_stats: Vec<EmStats>,
+    /// Per-phase parallel cost (work adds, depth maxes across lanes); the
+    /// `steal-warmup` phase is appended when the spec charges steals.
+    pub phase_costs: Vec<(&'static str, Cost)>,
+    /// Total cost: phases in sequence. `cost.depth` is the modeled span.
+    pub cost: Cost,
+    /// The simulated work-stealing execution of the phase tree.
+    pub sched: StealStats,
+    /// The §2 cache warm-up charge folded into the lane stats (zero when
+    /// the spec's `steal_charge` knob is off).
+    pub steal_warmup: EmStats,
+}
+
+/// One sorting algorithm behind the unified front door: adapters translate
+/// a validated [`SortSpec`] into machines, run the engine the legacy free
+/// function also wraps, and report a [`SortOutcome`].
+pub trait Sorter {
+    /// Stable identifier (equals `self.kind().name()`); used in bench JSON
+    /// and experiment tables.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Which algorithm this adapter fronts.
+    fn kind(&self) -> Algorithm;
+
+    /// Run the job described by `spec` over `input`. The spec's algorithm
+    /// must match [`Sorter::kind`]; runtime faults (backend I/O, exceeded
+    /// leases) surface as [`ModelError`]s.
+    fn run(&self, spec: &SortSpec, input: &[Record]) -> Result<SortOutcome>;
+}
+
+/// Shared sequential-adapter plumbing: build the spec's machine, stage the
+/// input (uncharged), run the engine, gather the output, and leave the
+/// store exactly as clean as the engine left it. `expect_clean` asserts a
+/// fully-released store after the output is freed — the mergesort and
+/// sample sort guarantee it; the heapsort's drained priority queue retains
+/// empty structural blocks, so it opts out.
+fn run_serial(
+    spec: &SortSpec,
+    input: &[Record],
+    expect_clean: bool,
+    engine: impl FnOnce(&EmMachine, EmVec) -> Result<EmVec>,
+) -> Result<SortOutcome> {
+    let em = spec.machine()?;
+    let staged = EmVec::stage(&em, input);
+    let sorted = engine(&em, staged)?;
+    let output = sorted.read_all_uncharged(&em);
+    sorted.free(&em);
+    if expect_clean {
+        assert_eq!(em.live_blocks(), 0, "engine leaked disk blocks");
+    }
+    let stats = em.stats();
+    Ok(SortOutcome {
+        output,
+        stats,
+        report: stats.report(spec.omega()),
+        parallel: None,
+    })
+}
+
+fn check_kind(sorter: &dyn Sorter, spec: &SortSpec) -> Result<()> {
+    if spec.algorithm() != sorter.kind() {
+        return Err(ModelError::Invariant(format!(
+            "spec describes {} but was handed to the {} sorter",
+            spec.algorithm(),
+            sorter.name()
+        )));
+    }
+    Ok(())
+}
+
+/// Adapter for the AEM mergesort (Algorithm 2).
+pub struct MergesortSorter;
+
+impl Sorter for MergesortSorter {
+    fn kind(&self) -> Algorithm {
+        Algorithm::Mergesort
+    }
+
+    fn run(&self, spec: &SortSpec, input: &[Record]) -> Result<SortOutcome> {
+        check_kind(self, spec)?;
+        run_serial(spec, input, true, |em, v| {
+            aem_mergesort_opts(em, v, spec.k(), MergeOpts::default())
+        })
+    }
+}
+
+/// Adapter for the AEM sample sort (§4.2). The spec's seed drives the
+/// splitter sampling, so runs are deterministic in the spec.
+pub struct SamplesortSorter;
+
+impl Sorter for SamplesortSorter {
+    fn kind(&self) -> Algorithm {
+        Algorithm::Samplesort
+    }
+
+    fn run(&self, spec: &SortSpec, input: &[Record]) -> Result<SortOutcome> {
+        check_kind(self, spec)?;
+        run_serial(spec, input, true, |em, v| {
+            let mut rng = StdRng::seed_from_u64(spec.seed());
+            samplesort_run(em, v, spec.k(), &mut rng)
+        })
+    }
+}
+
+/// Adapter for the buffer-tree heapsort (§4.3).
+pub struct HeapsortSorter;
+
+impl Sorter for HeapsortSorter {
+    fn kind(&self) -> Algorithm {
+        Algorithm::Heapsort
+    }
+
+    fn run(&self, spec: &SortSpec, input: &[Record]) -> Result<SortOutcome> {
+        check_kind(self, spec)?;
+        run_serial(spec, input, false, |em, v| heapsort_run(em, v, spec.k()))
+    }
+}
+
+/// Adapter for the modeled parallel sample sort on lane-sharded machines.
+pub struct ParSamplesortSorter;
+
+impl Sorter for ParSamplesortSorter {
+    fn kind(&self) -> Algorithm {
+        Algorithm::ParSamplesort
+    }
+
+    fn run(&self, spec: &SortSpec, input: &[Record]) -> Result<SortOutcome> {
+        check_kind(self, spec)?;
+        let par = spec.par_machine()?;
+        let (run, steal_warmup) =
+            par_sample_sort_run(&par, input, spec.k(), spec.seed(), spec.steal_charge())?;
+        assert_eq!(par.live_blocks(), 0, "a run must release every block");
+        let stats = run.merged;
+        Ok(SortOutcome {
+            output: run.output,
+            stats,
+            report: stats.report(spec.omega()),
+            parallel: Some(ParData {
+                lane_stats: run.lane_stats,
+                phase_costs: run.phase_costs,
+                cost: run.cost,
+                sched: run.sched,
+                steal_warmup,
+            }),
+        })
+    }
+}
+
+/// Every registered sorter, in [`Algorithm::ALL`] order. Consumers that
+/// want "all the sorts" (differential suites, experiment sweeps) enumerate
+/// this instead of hard-coding call sites.
+pub fn sorters() -> Vec<Box<dyn Sorter>> {
+    vec![
+        Box::new(MergesortSorter),
+        Box::new(SamplesortSorter),
+        Box::new(HeapsortSorter),
+        Box::new(ParSamplesortSorter),
+    ]
+}
+
+/// The registered sorter for one algorithm.
+pub fn sorter_for(algorithm: Algorithm) -> Box<dyn Sorter> {
+    match algorithm {
+        Algorithm::Mergesort => Box::new(MergesortSorter),
+        Algorithm::Samplesort => Box::new(SamplesortSorter),
+        Algorithm::Heapsort => Box::new(HeapsortSorter),
+        Algorithm::ParSamplesort => Box::new(ParSamplesortSorter),
+    }
+}
+
+/// Run the job described by `spec` with its algorithm's registered sorter —
+/// the one-call front door.
+pub fn run(spec: &SortSpec, input: &[Record]) -> Result<SortOutcome> {
+    sorter_for(spec.algorithm()).run(spec, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_model::record::assert_sorted_permutation;
+    use asym_model::workload::Workload;
+
+    fn spec_for(algorithm: Algorithm) -> SortSpec {
+        SortSpec::builder(algorithm, 32, 4, 8)
+            .k(2)
+            .lanes(if algorithm.is_parallel() { 4 } else { 1 })
+            .seed(11)
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn registry_covers_every_algorithm_with_matching_names() {
+        let all = sorters();
+        assert_eq!(all.len(), Algorithm::ALL.len());
+        for (sorter, algorithm) in all.iter().zip(Algorithm::ALL) {
+            assert_eq!(sorter.kind(), algorithm);
+            assert_eq!(sorter.name(), algorithm.name());
+            assert_eq!(sorter_for(algorithm).kind(), algorithm);
+        }
+    }
+
+    #[test]
+    fn every_sorter_sorts_and_reports_costs() {
+        let input = Workload::UniformRandom.generate(1200, 0x5027);
+        for sorter in sorters() {
+            let spec = spec_for(sorter.kind());
+            let outcome = sorter.run(&spec, &input).expect("run");
+            assert_sorted_permutation(&input, &outcome.output);
+            assert!(outcome.stats.block_writes > 0, "{}", sorter.name());
+            assert_eq!(
+                outcome.io_cost(),
+                outcome.stats.block_reads + 8 * outcome.stats.block_writes
+            );
+            assert_eq!(
+                outcome.parallel.is_some(),
+                sorter.kind().is_parallel(),
+                "{}",
+                sorter.name()
+            );
+            assert_eq!(outcome.base_stats(), outcome.stats, "knob off: no warm-up");
+        }
+    }
+
+    #[test]
+    fn mismatched_spec_is_rejected() {
+        let spec = spec_for(Algorithm::Mergesort);
+        let err = HeapsortSorter.run(&spec, &[]).unwrap_err();
+        assert!(matches!(err, ModelError::Invariant(_)));
+    }
+
+    #[test]
+    fn dispatching_run_matches_direct_adapter_calls() {
+        let input = Workload::Zipf.generate(800, 3);
+        for algorithm in Algorithm::ALL {
+            let spec = spec_for(algorithm);
+            let via_dispatch = run(&spec, &input).expect("dispatch");
+            let via_adapter = sorter_for(algorithm).run(&spec, &input).expect("adapter");
+            assert_eq!(via_dispatch.output, via_adapter.output);
+            assert_eq!(via_dispatch.stats, via_adapter.stats);
+        }
+    }
+}

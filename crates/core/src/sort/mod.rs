@@ -1,0 +1,57 @@
+//! The unified sort-job API: one front door for every AEM sort.
+//!
+//! The paper presents its three sequential sorts and the parallel schedule
+//! as instances of one question — how many reads and ω-weighted writes does
+//! a sort pay on a machine with memory `M`, blocks `B`, and write cost ω —
+//! so the repo fronts them with one job description instead of four free
+//! functions with incompatible signatures:
+//!
+//! * [`SortSpec`] — a validated, serializable-in-spirit description of one
+//!   job: algorithm, geometry `(M, B, ω)`, write-saving factor `k`, lanes,
+//!   storage [`Backend`](em_sim::Backend), seed, slack, and the §2
+//!   steal-charging knob. Invalid combinations are typed [`SpecError`]s at
+//!   build time; [`SortSpecBuilder::from_env`] absorbs the `ASYM_BENCH_*`
+//!   variables in one place.
+//! * [`Sorter`] — the algorithm-behind-a-trait: `name`, `kind`, and
+//!   `run(&spec, input) -> SortOutcome`. Four adapters wrap the same
+//!   engines the (now deprecated) free functions delegate to, so the two
+//!   paths are cost-identical by construction — `tests/cost_golden.rs`
+//!   freezes the counts through the legacy names and a registry-driven
+//!   differential suite pins the equivalence.
+//! * [`SortOutcome`] — output, merged [`EmStats`](em_sim::EmStats), a
+//!   [`CostReport`](asym_model::CostReport), and per-lane / per-phase /
+//!   scheduler detail for parallel runs.
+//! * [`sorters`] — the registry; experiments and differential tests
+//!   enumerate it instead of hard-coding call sites.
+//!
+//! ```
+//! use asym_core::sort::{Algorithm, SortSpec};
+//! use asym_model::workload::Workload;
+//!
+//! let spec = SortSpec::builder(Algorithm::Mergesort, 64, 8, 16)
+//!     .k(4) // trade 4x reads for ~1/2 the write levels
+//!     .build()
+//!     .expect("valid spec");
+//! let input = Workload::UniformRandom.generate(10_000, 42);
+//! let outcome = asym_core::sort::run(&spec, &input).expect("sort");
+//! assert!(outcome.output.windows(2).all(|w| w[0] <= w[1]));
+//! println!(
+//!     "{}: {} reads, {} writes, I/O cost {}",
+//!     spec.algorithm(),
+//!     outcome.stats.block_reads,
+//!     outcome.stats.block_writes,
+//!     outcome.io_cost()
+//! );
+//! ```
+
+pub mod adapters;
+pub mod spec;
+
+pub use adapters::{
+    run, sorter_for, sorters, HeapsortSorter, MergesortSorter, ParData, ParSamplesortSorter,
+    SamplesortSorter, SortOutcome, Sorter,
+};
+pub use spec::{
+    env_backend, env_thread_cap, parse_backend, parse_thread_cap, Algorithm, SortSpec,
+    SortSpecBuilder, SpecError, BACKEND_ENV, THREADS_ENV,
+};

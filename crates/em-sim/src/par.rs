@@ -53,6 +53,20 @@ impl ParMachine {
         Ok(Self { lanes })
     }
 
+    /// Assemble a bank from caller-built machines (custom stores, or lanes
+    /// whose backing files live in a chosen directory). All lanes must share
+    /// one configuration — the parallel algorithms assume a uniform geometry
+    /// and read ω off lane 0.
+    pub fn from_lanes(lanes: Vec<EmMachine>) -> Self {
+        assert!(!lanes.is_empty(), "a machine needs at least one lane");
+        let cfg = lanes[0].cfg();
+        assert!(
+            lanes.iter().all(|l| l.cfg() == cfg),
+            "every lane must share one EmConfig"
+        );
+        Self { lanes }
+    }
+
     /// Number of lanes (simulated workers).
     pub fn lanes(&self) -> usize {
         self.lanes.len()
@@ -188,5 +202,22 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_rejected() {
         let _ = ParMachine::new(EmConfig::new(16, 4, 2), 0);
+    }
+
+    #[test]
+    fn from_lanes_accepts_uniform_machines() {
+        let cfg = EmConfig::new(16, 4, 4);
+        let par = ParMachine::from_lanes(vec![EmMachine::new(cfg), EmMachine::new(cfg)]);
+        assert_eq!(par.lanes(), 2);
+        assert_eq!(par.cfg(), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one EmConfig")]
+    fn from_lanes_rejects_mixed_geometry() {
+        let _ = ParMachine::from_lanes(vec![
+            EmMachine::new(EmConfig::new(16, 4, 4)),
+            EmMachine::new(EmConfig::new(32, 4, 4)),
+        ]);
     }
 }

@@ -171,8 +171,11 @@ pub enum Backend {
     Custom,
 }
 
-/// The environment variable read by [`Backend::from_env`] (and honored by
-/// the `asym-bench` harness and the examples): `mem` or `file`.
+/// The environment variable naming a [`Backend`] (`mem` or `file`), honored
+/// by the `asym-bench` harness and the examples. This crate only names the
+/// variable; the single parsing point for its value is
+/// `asym_core::sort::env_backend` (a typed error, never a silent fallback),
+/// which every workspace consumer routes through.
 pub const BACKEND_ENV: &str = "ASYM_BENCH_BACKEND";
 
 impl Backend {
@@ -182,18 +185,6 @@ impl Backend {
             "mem" => Some(Backend::Mem),
             "file" => Some(Backend::File),
             _ => None,
-        }
-    }
-
-    /// Read [`BACKEND_ENV`] (default: [`Backend::Mem`]).
-    ///
-    /// Panics on an unrecognized value — a typo silently falling back to the
-    /// in-memory store would invalidate a backend-matrix CI run.
-    pub fn from_env() -> Backend {
-        match std::env::var(BACKEND_ENV) {
-            Ok(v) => Backend::parse(&v)
-                .unwrap_or_else(|| panic!("{BACKEND_ENV}={v:?}: expected \"mem\" or \"file\"")),
-            Err(_) => Backend::Mem,
         }
     }
 

@@ -21,4 +21,6 @@ pub mod sched;
 
 pub use brent::time_on;
 pub use cost::Cost;
-pub use sched::{simulate_work_stealing, StealStats, Task};
+pub use sched::{
+    simulate_work_stealing, simulate_work_stealing_traced, StealStats, StealTrace, Task,
+};

@@ -100,6 +100,21 @@ impl StealStats {
     }
 }
 
+/// A work-stealing run plus the per-processor steal attribution the §2
+/// cache-warm-up charge needs: `Qp ≤ Q1 + O(p·D·M/B)` charges `O(M/B)`
+/// misses to the *thief* of each steal, so a cost model folding the charge
+/// into per-lane statistics has to know which processor stole how often —
+/// the aggregate in [`StealStats::steals`] is not enough.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StealTrace {
+    /// The aggregate measurements (identical to what
+    /// [`simulate_work_stealing`] returns for the same task, `p` and rng).
+    pub stats: StealStats,
+    /// Successful steals per thief processor (`steals_by_thief[w]` sums to
+    /// `stats.steals`).
+    pub steals_by_thief: Vec<u64>,
+}
+
 // ---- simulation internals ---------------------------------------------------
 
 #[derive(Clone, Debug)]
@@ -158,6 +173,13 @@ impl Arena {
 /// subtask). Structural operations (forking, joining) are free, matching the
 /// conventions of the analysis.
 pub fn simulate_work_stealing(task: &Task, p: usize, rng: &mut StdRng) -> StealStats {
+    simulate_work_stealing_traced(task, p, rng).stats
+}
+
+/// [`simulate_work_stealing`] keeping the per-thief steal counts (same rng
+/// draws, so the aggregate [`StealStats`] are bit-identical to the untraced
+/// call). See [`StealTrace`].
+pub fn simulate_work_stealing_traced(task: &Task, p: usize, rng: &mut StdRng) -> StealTrace {
     assert!(p >= 1);
     let (arena, root) = Arena::build(task);
     let n = arena.kind.len();
@@ -173,6 +195,7 @@ pub fn simulate_work_stealing(task: &Task, p: usize, rng: &mut StdRng) -> StealS
         depth: task.depth(),
         ..StealStats::default()
     };
+    let mut steals_by_thief = vec![0u64; p];
 
     // Descend from `node` to its leftmost runnable leaf, spawning parallel
     // siblings onto `deque`. `Ok((leaf, w))` is a work leaf that takes time;
@@ -279,7 +302,10 @@ pub fn simulate_work_stealing(task: &Task, p: usize, rng: &mut StdRng) -> StealS
         root,
     );
     if done {
-        return stats;
+        return StealTrace {
+            stats,
+            steals_by_thief,
+        };
     }
 
     while !done {
@@ -320,19 +346,17 @@ pub fn simulate_work_stealing(task: &Task, p: usize, rng: &mut StdRng) -> StealS
             }
             // Local pop (bottom of own deque).
             let mut acquired = deques[proc].pop_back();
-            let mut was_steal = false;
             if acquired.is_none() && p > 1 {
                 let victim = rng.gen_range(0..p - 1);
                 let victim = if victim >= proc { victim + 1 } else { victim };
                 acquired = deques[victim].pop_front();
                 if acquired.is_some() {
-                    was_steal = true;
                     stats.steals += 1;
+                    steals_by_thief[proc] += 1;
                 } else {
                     stats.failed_steals += 1;
                 }
             }
-            let _ = was_steal;
             if let Some(nx) = acquired {
                 take_up(
                     &arena,
@@ -349,7 +373,10 @@ pub fn simulate_work_stealing(task: &Task, p: usize, rng: &mut StdRng) -> StealS
             }
         }
     }
-    stats
+    StealTrace {
+        stats,
+        steals_by_thief,
+    }
 }
 
 /// What the parallel-depth-first (PDF) simulation measured.
@@ -684,6 +711,28 @@ mod tests {
                 "p={p}: mean steals {mean} exceeds 4·p·D = {bound}"
             );
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_attributes_every_steal() {
+        let t = Task::balanced(64, 20, 1);
+        for p in [1usize, 3, 8] {
+            let trace = simulate_work_stealing_traced(&t, p, &mut rng());
+            let stats = simulate_work_stealing(&t, p, &mut rng());
+            assert_eq!(
+                trace.stats, stats,
+                "p={p}: trace must not perturb the schedule"
+            );
+            assert_eq!(trace.steals_by_thief.len(), p);
+            assert_eq!(
+                trace.steals_by_thief.iter().sum::<u64>(),
+                trace.stats.steals,
+                "p={p}: per-thief counts must sum to the aggregate"
+            );
+        }
+        // Structurally-empty tasks return an all-zero attribution.
+        let trace = simulate_work_stealing_traced(&Task::Seq(vec![]), 4, &mut rng());
+        assert_eq!(trace.steals_by_thief, vec![0; 4]);
     }
 
     #[test]

@@ -12,12 +12,11 @@
 //!    LRU cache and watch dirty writebacks drop as ω grows.
 
 use asym_core::co::co_asym_sort;
-use asym_core::em::{aem_mergesort, mergesort_slack};
 use asym_core::ram::tree_sort::{mergesort_baseline, tree_sort_with_counter};
+use asym_core::sort::{self, Algorithm, SortSpec};
 use asym_model::workload::Workload;
 use asym_model::{CostModel, MemCounter};
 use cache_sim::{CacheConfig, PolicyChoice, SimArray, Tracker};
-use em_sim::{EmConfig, EmMachine, EmVec};
 
 fn main() {
     let n = 1 << 15;
@@ -49,28 +48,39 @@ fn main() {
         model.cost_of(&c_base) as f64 / model.cost_of(&c_tree) as f64
     );
 
-    // Storage backend for the AEM tour: `ASYM_BENCH_BACKEND=file` swaps the
-    // in-memory slab for a real temp file (modeled costs are identical by
-    // construction; only wall-clock time changes).
-    let backend = em_sim::Backend::from_env();
-    println!("== 2. Asymmetric External Memory (M=256, B=16, omega={omega}, backend={backend}) ==");
+    // The AEM tour runs through the unified sort API: one validated
+    // `SortSpec` per job, dispatched by the registry. `from_env` absorbs
+    // `ASYM_BENCH_BACKEND=file` (swap the in-memory slab for a real temp
+    // file — modeled costs are identical by construction; only wall-clock
+    // time changes).
     let (m, b) = (256usize, 16usize);
+    let probe = SortSpec::builder(Algorithm::Mergesort, m, b, omega)
+        .from_env()
+        .expect("parse ASYM_BENCH_* environment")
+        .build()
+        .expect("valid spec");
+    println!(
+        "== 2. Asymmetric External Memory (M={m}, B={b}, omega={omega}, backend={}) ==",
+        probe.backend()
+    );
     let mut best = (0usize, u64::MAX);
     for k in [1usize, 2, 4, 8] {
-        let cfg = EmConfig::new(m, b, omega).with_slack(mergesort_slack(m, b, k));
-        let em = EmMachine::with_backend(cfg, backend).expect("create storage backend");
-        let v = EmVec::stage(&em, &input);
-        let sorted = aem_mergesort(&em, v, k).expect("sort");
-        assert_eq!(sorted.len(), n);
-        let s = em.stats();
-        if em.io_cost() < best.1 {
-            best = (k, em.io_cost());
+        let spec = SortSpec::builder(Algorithm::Mergesort, m, b, omega)
+            .k(k)
+            .from_env()
+            .expect("parse ASYM_BENCH_* environment")
+            .build()
+            .expect("valid spec");
+        let outcome = sort::run(&spec, &input).expect("sort");
+        assert_eq!(outcome.output.len(), n);
+        if outcome.io_cost() < best.1 {
+            best = (k, outcome.io_cost());
         }
         println!(
             "  k={k:>2}: {:>7} block reads {:>7} block writes  I/O cost {:>9}",
-            s.block_reads,
-            s.block_writes,
-            em.io_cost()
+            outcome.stats.block_reads,
+            outcome.stats.block_writes,
+            outcome.io_cost()
         );
     }
     println!(

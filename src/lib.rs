@@ -7,7 +7,8 @@
 //! one dependency.
 //!
 //! * [`core`] (`asym-core`) — the algorithms, organized by model: `ram`,
-//!   `pram`, `em`, `co`, `par`.
+//!   `pram`, `em`, `co`, `par` — fronted by the unified job API in
+//!   `core::sort` (`SortSpec` + `Sorter` registry).
 //! * [`model`] (`asym-model`) — the shared cost substrate: `omega`-weighted
 //!   [`model::CostModel`], counters, records, workloads.
 //! * [`cache_sim`] — the Asymmetric Ideal-Cache simulator (LRU, read-write

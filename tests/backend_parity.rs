@@ -4,94 +4,63 @@
 //! The machine counts costs *before* touching the store, so `EmStats`
 //! equality is by construction — what these tests actually pin down is that
 //! the file backend stores and returns the same bytes under the same slot
-//! schedule: E3 (mergesort), E5 (sample sort) and E6 (buffer-tree heapsort)
-//! at smoke scale must produce byte-identical sorted output, identical
-//! `(reads, writes, peak_memory)`, and identical live-block accounting on
-//! both backends. Slot-reuse semantics get a dedicated release-heavy check
+//! schedule. Every registered sorter (the unified `asym_core::sort`
+//! registry: mergesort, sample sort, buffer-tree heapsort, and the parallel
+//! sample sort) runs at smoke scale on both backends and must produce
+//! byte-identical sorted output and identical `(reads, writes,
+//! peak_memory)`. Slot-reuse semantics get a dedicated release-heavy check
 //! (the sorts free their intermediate runs, so any LIFO/ordering divergence
 //! between the backends' free lists would surface as different output).
 
-use asym_core::em::mergesort::mergesort_slack;
-use asym_core::em::pq::pq_slack;
-use asym_core::em::samplesort::samplesort_slack;
-use asym_core::em::{aem_heapsort, aem_mergesort, aem_samplesort};
+use asym_core::sort::{sorters, Algorithm, SortSpec, Sorter};
 use asym_model::record::assert_sorted_permutation;
 use asym_model::workload::Workload;
 use asym_model::Record;
-use em_sim::{Backend, EmConfig, EmMachine, EmStats, EmVec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use em_sim::{Backend, EmConfig, EmMachine, EmVec};
 
-/// Run one sort on one backend; return (sorted output, stats, live blocks).
+/// The per-algorithm smoke geometry (matching the legacy suite's E3/E5/E6
+/// configurations, so the exercised schedules stay the frozen ones).
+fn geometry(algorithm: Algorithm) -> (usize, usize, usize, usize) {
+    // (m, b, n, lanes)
+    match algorithm {
+        Algorithm::Heapsort => (16, 2, 800, 1),
+        Algorithm::ParSamplesort => (32, 4, 600, 4),
+        _ => (32, 4, 600, 1),
+    }
+}
+
+/// Run one sorter on one backend; return (sorted output, stats).
 fn run_on(
+    sorter: &dyn Sorter,
     backend: Backend,
-    cfg: EmConfig,
+    k: usize,
     input: &[Record],
-    sort: impl FnOnce(&EmMachine, EmVec) -> EmVec,
-) -> (Vec<Record>, EmStats, usize) {
-    let em = EmMachine::with_backend(cfg, backend).expect("create backend");
-    assert_eq!(em.backend(), backend);
-    let v = EmVec::stage(&em, input);
-    em.reset_stats();
-    let sorted = sort(&em, v);
-    let out = sorted.read_all_uncharged(&em);
-    assert_sorted_permutation(input, &out);
-    (out, em.stats(), em.live_blocks())
-}
-
-/// Run on both backends and assert byte-identical outputs and identical
-/// modeled stats.
-fn assert_parity(
-    label: &str,
-    cfg: EmConfig,
-    input: &[Record],
-    sort: impl Fn(&EmMachine, EmVec) -> EmVec,
-) {
-    let (out_mem, stats_mem, live_mem) = run_on(Backend::Mem, cfg, input, &sort);
-    let (out_file, stats_file, live_file) = run_on(Backend::File, cfg, input, &sort);
-    assert_eq!(out_mem, out_file, "{label}: sorted output differs");
-    assert_eq!(stats_mem, stats_file, "{label}: EmStats differ");
-    assert_eq!(
-        live_mem, live_file,
-        "{label}: live-block accounting differs"
-    );
+) -> (Vec<Record>, em_sim::EmStats) {
+    let (m, b, _, lanes) = geometry(sorter.kind());
+    let spec = SortSpec::builder(sorter.kind(), m, b, 8)
+        .k(k)
+        .lanes(lanes)
+        .seed(0xE5)
+        .backend(backend)
+        .build()
+        .expect("valid spec");
+    let outcome = sorter.run(&spec, input).expect("run");
+    assert_sorted_permutation(input, &outcome.output);
+    (outcome.output, outcome.stats)
 }
 
 #[test]
-fn e3_mergesort_is_backend_invariant() {
-    let (m, b) = (32usize, 4usize);
-    let input = Workload::UniformRandom.generate(500, 0x60_1D);
-    for k in [1usize, 2, 4] {
-        let cfg = EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k));
-        assert_parity(&format!("E3 k={k}"), cfg, &input, |em, v| {
-            aem_mergesort(em, v, k).expect("mergesort")
-        });
-    }
-}
-
-#[test]
-fn e5_samplesort_is_backend_invariant() {
-    let (m, b) = (32usize, 4usize);
-    let input = Workload::UniformRandom.generate(600, 0x60_1D);
-    for k in [1usize, 2] {
-        let cfg = EmConfig::new(m, b, 8).with_slack(samplesort_slack(m, b, k));
-        assert_parity(&format!("E5 k={k}"), cfg, &input, |em, v| {
-            // Same splitter rng on both backends: the schedule must match.
-            let mut rng = StdRng::seed_from_u64(0xE5);
-            aem_samplesort(em, v, k, &mut rng).expect("samplesort")
-        });
-    }
-}
-
-#[test]
-fn e6_heapsort_is_backend_invariant() {
-    let (m, b) = (16usize, 2usize);
-    let input = Workload::UniformRandom.generate(800, 0x60_1D);
-    for k in [1usize, 2] {
-        let cfg = EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k));
-        assert_parity(&format!("E6 k={k}"), cfg, &input, |em, v| {
-            aem_heapsort(em, v, k).expect("heapsort")
-        });
+fn every_registered_sorter_is_backend_invariant() {
+    for sorter in sorters() {
+        let (_, _, n, _) = geometry(sorter.kind());
+        let input = Workload::UniformRandom.generate(n, 0x60_1D);
+        for k in [1usize, 2] {
+            let (out_mem, stats_mem) = run_on(sorter.as_ref(), Backend::Mem, k, &input);
+            let (out_file, stats_file) = run_on(sorter.as_ref(), Backend::File, k, &input);
+            let label = format!("{} k={k}", sorter.name());
+            assert_eq!(out_mem, out_file, "{label}: sorted output differs");
+            assert_eq!(stats_mem, stats_file, "{label}: EmStats differ");
+        }
     }
 }
 
@@ -99,14 +68,45 @@ fn e6_heapsort_is_backend_invariant() {
 fn adversarial_workloads_are_backend_invariant() {
     // Sorted / reversed / few-distinct inputs drive different merge and
     // bucket paths (and different release orders) than uniform-random.
-    let (m, b, k) = (32usize, 4usize, 2usize);
+    let mergesort = asym_core::sort::sorter_for(Algorithm::Mergesort);
     for wl in [Workload::Sorted, Workload::Reversed, Workload::FewDistinct] {
         let input = wl.generate(300, 0xBEEF);
-        let cfg = EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k));
-        assert_parity(&format!("{wl:?}"), cfg, &input, |em, v| {
-            aem_mergesort(em, v, k).expect("mergesort")
-        });
+        let (out_mem, stats_mem) = run_on(mergesort.as_ref(), Backend::Mem, 2, &input);
+        let (out_file, stats_file) = run_on(mergesort.as_ref(), Backend::File, 2, &input);
+        assert_eq!(out_mem, out_file, "{wl:?}: sorted output differs");
+        assert_eq!(stats_mem, stats_file, "{wl:?}: EmStats differ");
     }
+}
+
+// The heapsort's drained priority queue retains empty structural blocks,
+// so the registry adapter (which owns its machine) cannot assert a clean
+// store for it. This check runs the legacy entry point on a visible
+// machine instead: the *count* of residual blocks must be identical across
+// backends — a FileStore alloc/release accounting bug that diverges
+// without corrupting bytes or modeled stats would surface here.
+#[test]
+#[allow(deprecated)]
+fn heapsort_residual_blocks_match_across_backends() {
+    use asym_core::em::aem_heapsort;
+    use asym_core::em::pq::pq_slack;
+    let (m, b, k) = (16usize, 2usize, 2usize);
+    let input = Workload::UniformRandom.generate(800, 0x60_1D);
+    let residual: Vec<usize> = [Backend::Mem, Backend::File]
+        .into_iter()
+        .map(|backend| {
+            let cfg = EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k));
+            let em = EmMachine::with_backend(cfg, backend).expect("create backend");
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_heapsort(&em, v, k).expect("heapsort");
+            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+            sorted.free(&em);
+            em.live_blocks()
+        })
+        .collect();
+    assert_eq!(
+        residual[0], residual[1],
+        "live-block accounting differs across backends"
+    );
 }
 
 #[test]

@@ -1,0 +1,155 @@
+//! Deprecation firewall: no workspace crate outside `tests/` may call the
+//! deprecated per-algorithm sort entry points — everything routes through
+//! the unified `asym_core::sort` API.
+//!
+//! The workspace allows the `deprecated` lint (so the integration tests
+//! that deliberately pin the legacy paths, like `tests/cost_golden.rs`,
+//! keep compiling under CI's `-D warnings`); this source scan is the
+//! enforcement that the allowance is not abused by production code. CI runs
+//! it as a named step, and it rides in `cargo test` like any other suite.
+
+use std::path::{Path, PathBuf};
+
+/// The deprecated free functions. Matching is on `name(`, which skips the
+/// non-deprecated engine entry points (`aem_mergesort_opts(`) because of
+/// the underscore following the prefix.
+const DEPRECATED_CALLS: [&str; 4] = [
+    "aem_mergesort(",
+    "aem_samplesort(",
+    "aem_heapsort(",
+    "par_aem_sample_sort(",
+];
+
+/// Files that define the deprecated wrappers (their bodies and in-file unit
+/// tests legitimately reference the names).
+const DEFINING_FILES: [&str; 4] = [
+    "crates/core/src/em/mergesort.rs",
+    "crates/core/src/em/samplesort.rs",
+    "crates/core/src/em/heapsort.rs",
+    "crates/core/src/par/aem_sample_sort.rs",
+];
+
+fn workspace_root() -> PathBuf {
+    // The umbrella package's manifest dir *is* the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Remove comment text from one line: everything after `//`, and the
+/// interior of `/* ... */` blocks (tracked across lines via
+/// `in_block_comment`). Good enough for a firewall — Rust's nesting and
+/// comment-markers-inside-strings corner cases would only ever *hide* a
+/// violation inside what this treats as a comment, and those constructs
+/// don't appear in the scanned sources.
+fn strip_comments(line: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            match line[i..].find("*/") {
+                Some(end) => {
+                    *in_block_comment = false;
+                    i += end + 2;
+                }
+                None => return out,
+            }
+        } else if line[i..].starts_with("//") {
+            return out;
+        } else if line[i..].starts_with("/*") {
+            *in_block_comment = true;
+            i += 2;
+        } else {
+            let ch = line[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    out
+}
+
+#[test]
+fn no_non_test_code_calls_the_deprecated_entry_points() {
+    let root = workspace_root();
+    // Everything that ships: crate sources, bench targets, examples, the
+    // umbrella crate. `tests/` is deliberately absent (tests excepted), as
+    // are the shims (no sort code) and `target/`.
+    let scanned_dirs = ["crates", "examples", "src"];
+    let mut files = Vec::new();
+    for dir in scanned_dirs {
+        rust_files_under(&root.join(dir), &mut files);
+    }
+    assert!(
+        files.len() > 20,
+        "scan found suspiciously few files — wrong root?"
+    );
+
+    let mut violations = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(&root)
+            .expect("scanned under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if DEFINING_FILES.contains(&rel.as_str()) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read source file");
+        let mut in_block_comment = false;
+        for (lineno, line) in text.lines().enumerate() {
+            // Comments (line, trailing, and /* */ blocks) may discuss the
+            // legacy names; only code is scanned. String literals are not
+            // special-cased — none of the workspace embeds these names in
+            // strings, and a false positive there would still deserve a
+            // look.
+            let code = strip_comments(line, &mut in_block_comment);
+            for call in DEPRECATED_CALLS {
+                if code.contains(call) {
+                    violations.push(format!("{rel}:{}: {}", lineno + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deprecated sort entry points called outside tests/ — route through \
+         asym_core::sort instead:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn comment_stripping_skips_docs_but_not_code() {
+    let mut blk = false;
+    assert_eq!(
+        strip_comments("let x = f(); // was aem_mergesort(a, b)", &mut blk),
+        "let x = f(); "
+    );
+    assert_eq!(
+        strip_comments("/* aem_mergesort(a) */ let y = 1;", &mut blk),
+        " let y = 1;"
+    );
+    assert!(!blk);
+    assert_eq!(strip_comments("code(); /* open", &mut blk), "code(); ");
+    assert!(blk);
+    assert_eq!(strip_comments("aem_mergesort(hidden)", &mut blk), "");
+    assert_eq!(strip_comments("still */ tail()", &mut blk), " tail()");
+    assert!(!blk);
+    assert_eq!(
+        strip_comments("aem_heapsort(em, v, k)", &mut blk),
+        "aem_heapsort(em, v, k)"
+    );
+}

@@ -1,14 +1,14 @@
-//! Differential battery for the modeled parallel AEM sample sort: every
-//! lane count must produce byte-identical output to the RAM reference
-//! sorts, and the lane-merged transfer totals must be identical across
-//! lane counts (work preservation — the tentpole invariant of the parallel
-//! execution spine).
+//! Differential battery for the modeled parallel AEM sample sort, driven
+//! through the unified `asym_core::sort` API: every lane count must produce
+//! byte-identical output to the RAM reference sorts, and the lane-merged
+//! transfer totals must be identical across lane counts (work preservation
+//! — the tentpole invariant of the parallel execution spine).
 
-use asym_core::par::{par_aem_sample_sort, par_samplesort_slack, ParSortRun};
 use asym_core::ram::tree_sort::tree_sort;
+use asym_core::sort::{self, Algorithm, SortOutcome, SortSpec};
 use asym_model::workload::Workload;
 use asym_model::Record;
-use em_sim::{Backend, EmConfig, ParMachine};
+use em_sim::Backend;
 use proptest::prelude::*;
 
 /// The lane sweep: {1, 2, 4, 8}, capped by `ASYM_BENCH_THREADS` when set
@@ -18,24 +18,28 @@ use proptest::prelude::*;
 /// present.
 use asym_bench::e13_par_sort::lane_counts;
 
-fn machine(m: usize, b: usize, omega: u64, k: usize, lanes: usize) -> ParMachine {
-    // Honor the CI backend matrix: the battery must hold on file-backed
-    // lanes exactly as on the slab arena.
-    ParMachine::with_backend(
-        EmConfig::new(m, b, omega).with_slack(par_samplesort_slack(m, b, k)),
-        lanes,
-        Backend::from_env(),
-    )
-    .expect("build lanes")
+/// The job description one battery cell runs (backend honors the CI
+/// backend matrix via `from_env`: the battery must hold on file-backed
+/// lanes exactly as on the slab arena).
+fn spec(m: usize, b: usize, k: usize, lanes: usize, seed: u64) -> SortSpec {
+    SortSpec::builder(Algorithm::ParSamplesort, m, b, 8)
+        .k(k)
+        .lanes(lanes)
+        .seed(seed)
+        .from_env()
+        .expect("parse ASYM_BENCH_* environment")
+        .build()
+        .expect("valid spec")
 }
 
-/// Run the modeled sort on `lanes` lanes and return the run after checking
-/// the stores come back clean.
-fn run(input: &[Record], m: usize, b: usize, k: usize, lanes: usize, seed: u64) -> ParSortRun {
-    let par = machine(m, b, 8, k, lanes);
-    let run = par_aem_sample_sort(&par, input, k, seed).expect("modeled par sort");
-    assert_eq!(par.live_blocks(), 0, "run must release every block");
-    run
+/// Run the modeled sort on `lanes` lanes through the registry.
+fn run(input: &[Record], m: usize, b: usize, k: usize, lanes: usize, seed: u64) -> SortOutcome {
+    let outcome = sort::run(&spec(m, b, k, lanes, seed), input).expect("modeled par sort");
+    assert!(
+        outcome.parallel.is_some(),
+        "parallel runs carry lane detail"
+    );
+    outcome
 }
 
 /// The full differential check for one input: outputs equal the RAM
@@ -58,11 +62,11 @@ fn check_all_lane_counts(name: &str, input: &[Record], m: usize, b: usize, k: us
             "{name}: output differs on {lanes} lanes"
         );
         assert_eq!(
-            parallel.merged.block_writes, serial.merged.block_writes,
+            parallel.stats.block_writes, serial.stats.block_writes,
             "{name}: write total not preserved on {lanes} lanes"
         );
         assert_eq!(
-            parallel.merged.block_reads, serial.merged.block_reads,
+            parallel.stats.block_reads, serial.stats.block_reads,
             "{name}: read total not preserved on {lanes} lanes"
         );
     }
@@ -109,17 +113,25 @@ fn mem_and_file_lanes_agree_exactly() {
     let (m, b, k) = (32usize, 4usize, 2usize);
     let input = Workload::UniformRandom.generate(1500, 77);
     let lanes = *lane_counts().last().expect("non-empty sweep");
-    let cfg = EmConfig::new(m, b, 8).with_slack(par_samplesort_slack(m, b, k));
-    let mem = ParMachine::with_backend(cfg, lanes, Backend::Mem).expect("mem lanes");
-    let file = ParMachine::with_backend(cfg, lanes, Backend::File).expect("file lanes");
-    let mem_run = par_aem_sample_sort(&mem, &input, k, 5).expect("mem");
-    let file_run = par_aem_sample_sort(&file, &input, k, 5).expect("file");
+    let run_on = |backend: Backend| {
+        let spec = SortSpec::builder(Algorithm::ParSamplesort, m, b, 8)
+            .k(k)
+            .lanes(lanes)
+            .seed(5)
+            .backend(backend)
+            .build()
+            .expect("valid spec");
+        sort::run(&spec, &input).expect("modeled par sort")
+    };
+    let mem_run = run_on(Backend::Mem);
+    let file_run = run_on(Backend::File);
     assert_eq!(mem_run.output, file_run.output);
     assert_eq!(
-        mem_run.lane_stats, file_run.lane_stats,
+        mem_run.parallel.as_ref().expect("lanes").lane_stats,
+        file_run.parallel.as_ref().expect("lanes").lane_stats,
         "modeled per-lane costs must not depend on the backend"
     );
-    assert_eq!(file.live_blocks(), 0);
+    assert_eq!(mem_run.stats, file_run.stats);
 }
 
 #[test]
@@ -127,20 +139,22 @@ fn span_never_exceeds_serial_and_work_is_conserved_in_cost_algebra() {
     let (m, b, k) = (64usize, 8usize, 2usize);
     let input = Workload::UniformRandom.generate(6000, 11);
     let serial = run(&input, m, b, k, 1, 3);
+    let serial_par = serial.parallel.as_ref().expect("lane detail");
     for lanes in lane_counts().into_iter().skip(1) {
         let parallel = run(&input, m, b, k, lanes, 3);
+        let par = parallel.parallel.as_ref().expect("lane detail");
         assert!(
-            parallel.cost.depth <= serial.cost.depth,
+            par.cost.depth <= serial_par.cost.depth,
             "{lanes} lanes: span {} beyond serial {}",
-            parallel.cost.depth,
-            serial.cost.depth
+            par.cost.depth,
+            serial_par.cost.depth
         );
         // The cost algebra's work components are exactly the machine
         // counters, merged.
-        assert_eq!(parallel.cost.reads, parallel.merged.block_reads);
-        assert_eq!(parallel.cost.writes, parallel.merged.block_writes);
+        assert_eq!(par.cost.reads, parallel.stats.block_reads);
+        assert_eq!(par.cost.writes, parallel.stats.block_writes);
         // The scheduler simulation executed exactly the modeled work.
-        assert_eq!(parallel.sched.work, parallel.cost.work(8));
+        assert_eq!(par.sched.work, par.cost.work(8));
     }
 }
 
@@ -176,14 +190,14 @@ proptest! {
             let parallel = run(&input, 16, 4, 1, lanes, seed);
             prop_assert_eq!(&parallel.output, &expect);
             prop_assert_eq!(
-                parallel.merged.block_writes,
-                serial.merged.block_writes,
+                parallel.stats.block_writes,
+                serial.stats.block_writes,
                 "lanes={}: writes not preserved",
                 lanes
             );
             prop_assert_eq!(
-                parallel.merged.block_reads,
-                serial.merged.block_reads,
+                parallel.stats.block_reads,
+                serial.stats.block_reads,
                 "lanes={}: reads not preserved",
                 lanes
             );

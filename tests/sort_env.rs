@@ -1,0 +1,51 @@
+//! `SortSpecBuilder::from_env` against the live process environment.
+//!
+//! This lives in its own test binary (one process, one test) because it
+//! mutates `ASYM_BENCH_*` with `std::env::set_var`, which is unsound to
+//! interleave with concurrent `getenv` readers on other threads — e.g.
+//! `std::env::temp_dir()` inside the file-backend tests. Everything else
+//! about env parsing is covered race-free by the pure `parse_backend` /
+//! `parse_thread_cap` unit tests in `asym_core::sort::spec`.
+
+use asym_core::sort::{Algorithm, SortSpec, SpecError, BACKEND_ENV, THREADS_ENV};
+use em_sim::Backend;
+
+#[test]
+fn from_env_absorbs_backend_and_thread_cap() {
+    let old_backend = std::env::var(BACKEND_ENV).ok();
+    let old_threads = std::env::var(THREADS_ENV).ok();
+
+    std::env::set_var(BACKEND_ENV, "file");
+    std::env::set_var(THREADS_ENV, "2");
+    let spec = SortSpec::builder(Algorithm::ParSamplesort, 32, 4, 8)
+        .lanes(8)
+        .from_env()
+        .expect("valid env")
+        .build()
+        .expect("valid spec");
+    assert_eq!(spec.backend(), Backend::File);
+    assert_eq!(spec.lanes(), 2, "ASYM_BENCH_THREADS caps the lane count");
+
+    std::env::set_var(BACKEND_ENV, "nvme");
+    let err = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+        .from_env()
+        .unwrap_err();
+    assert!(matches!(err, SpecError::Env { var, .. } if var == BACKEND_ENV));
+
+    std::env::set_var(BACKEND_ENV, "mem");
+    std::env::set_var(THREADS_ENV, "lots");
+    let err = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+        .from_env()
+        .unwrap_err();
+    assert!(matches!(err, SpecError::Env { var, .. } if var == THREADS_ENV));
+
+    // Restore whatever the harness was invoked with.
+    match old_backend {
+        Some(v) => std::env::set_var(BACKEND_ENV, v),
+        None => std::env::remove_var(BACKEND_ENV),
+    }
+    match old_threads {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+}

@@ -1,17 +1,17 @@
 //! End-to-end agreement: every sorting algorithm in the workspace, on every
-//! workload, produces the same answer as the standard library sort.
+//! workload, produces the same answer as the standard library sort. The
+//! AEM sorts are enumerated generically through the unified
+//! `asym_core::sort` registry — no per-algorithm call sites.
 
 use asym_core::co::{co_asym_sort, co_mergesort};
-use asym_core::em::{aem_heapsort, aem_mergesort, aem_samplesort};
-use asym_core::em::{mergesort_slack, pq::pq_slack, samplesort_slack};
 use asym_core::par::par_sample_sort;
 use asym_core::pram::pram_sample_sort;
 use asym_core::ram::tree_sort::tree_sort;
+use asym_core::sort::{sorters, Algorithm, SortSpec};
 use asym_model::record::assert_sorted_permutation;
 use asym_model::workload::Workload;
 use asym_model::Record;
 use cache_sim::{SimArray, Tracker};
-use em_sim::{EmConfig, EmMachine, EmVec};
 use rand::SeedableRng;
 
 fn all_inputs() -> Vec<(String, Vec<Record>)> {
@@ -22,6 +22,22 @@ fn all_inputs() -> Vec<(String, Vec<Record>)> {
         }
     }
     inputs
+}
+
+/// A registry-sized spec: geometry per algorithm (the heapsort's buffer
+/// tree is exercised deeper on a smaller machine, matching the legacy
+/// suite's choices), lanes only for the parallel sort.
+fn spec_for(algorithm: Algorithm, k: usize) -> SortSpec {
+    let (m, b) = match algorithm {
+        Algorithm::Heapsort => (16usize, 2usize),
+        _ => (32usize, 4usize),
+    };
+    SortSpec::builder(algorithm, m, b, 8)
+        .k(k)
+        .lanes(if algorithm.is_parallel() { 4 } else { 1 })
+        .seed(2)
+        .build()
+        .expect("valid spec")
 }
 
 #[test]
@@ -46,45 +62,24 @@ fn pram_sample_sort_agrees() {
 }
 
 #[test]
-fn aem_mergesort_agrees() {
-    let (m, b) = (32usize, 4usize);
-    for k in [1usize, 2, 4] {
-        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
-        for (name, input) in all_inputs() {
-            let v = EmVec::stage(&em, &input);
-            let sorted = aem_mergesort(&em, v, k).expect("sort");
-            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
-            sorted.free(&em);
-            assert_eq!(em.live_blocks(), 0, "{name}: leaked disk blocks");
-        }
-    }
-}
-
-#[test]
-fn aem_samplesort_agrees() {
-    let (m, b) = (32usize, 4usize);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    for k in [1usize, 3] {
-        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(samplesort_slack(m, b, k)));
-        for (_, input) in all_inputs() {
-            let v = EmVec::stage(&em, &input);
-            let sorted = aem_samplesort(&em, v, k, &mut rng).expect("sort");
-            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
-            sorted.free(&em);
-        }
-    }
-}
-
-#[test]
-fn aem_heapsort_agrees() {
-    let (m, b) = (16usize, 2usize);
-    for k in [1usize, 2] {
-        let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
-        for (_, input) in all_inputs() {
-            let v = EmVec::stage(&em, &input);
-            let sorted = aem_heapsort(&em, v, k).expect("sort");
-            assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
-            sorted.free(&em);
+fn every_registered_aem_sort_agrees() {
+    for sorter in sorters() {
+        // Per-algorithm write-saving sweep matching the legacy suite's
+        // coverage: deeper k changes the fan-in l = kM/B and the round
+        // structure, so k > 2 is not redundant with k ∈ {1, 2}.
+        let ks: &[usize] = match sorter.kind() {
+            Algorithm::Mergesort => &[1, 2, 4],
+            Algorithm::Samplesort => &[1, 3],
+            _ => &[1, 2],
+        };
+        for &k in ks {
+            let spec = spec_for(sorter.kind(), k);
+            for (name, input) in all_inputs() {
+                let outcome = sorter
+                    .run(&spec, &input)
+                    .unwrap_or_else(|e| panic!("{name} via {}: {e}", sorter.name()));
+                assert_sorted_permutation(&input, &outcome.output);
+            }
         }
     }
 }
@@ -128,33 +123,12 @@ fn all_sorts_agree_pairwise_on_one_input() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     assert_eq!(pram_sample_sort(&input, 4, &mut rng, true).0, expect);
 
-    let (m, b, k) = (32usize, 4usize, 2usize);
-    let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
-    let v = EmVec::stage(&em, &input);
-    assert_eq!(
-        aem_mergesort(&em, v, k)
-            .expect("merge")
-            .read_all_uncharged(&em),
-        expect
-    );
-
-    let em2 = EmMachine::new(EmConfig::new(m, b, 8).with_slack(samplesort_slack(m, b, k)));
-    let v = EmVec::stage(&em2, &input);
-    assert_eq!(
-        aem_samplesort(&em2, v, k, &mut rng)
-            .expect("sample")
-            .read_all_uncharged(&em2),
-        expect
-    );
-
-    let em3 = EmMachine::new(EmConfig::new(16, 2, 8).with_slack(pq_slack(16, 2, 1)));
-    let v = EmVec::stage(&em3, &input);
-    assert_eq!(
-        aem_heapsort(&em3, v, 1)
-            .expect("heap")
-            .read_all_uncharged(&em3),
-        expect
-    );
+    // Every AEM sort through the one front door.
+    for sorter in sorters() {
+        let spec = spec_for(sorter.kind(), 2);
+        let outcome = sorter.run(&spec, &input).expect("registry sort");
+        assert_eq!(outcome.output, expect, "{} disagrees", sorter.name());
+    }
 
     let t = Tracker::null();
     let mut a = SimArray::from_vec(&t, input.clone());
