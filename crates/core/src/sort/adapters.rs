@@ -16,7 +16,7 @@ use wd_sim::{Cost, StealStats};
 /// records, the merged transfer statistics, their ω-weighted rendering, and
 /// — for parallel runs — the per-lane / per-phase / scheduler detail that
 /// used to live in `par::ParSortRun`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SortOutcome {
     /// The sorted records (gathered to host memory, uncharged — the
     /// disk-resident runs are the algorithm's output).
@@ -53,7 +53,7 @@ impl SortOutcome {
 }
 
 /// Per-lane, per-phase, and scheduler measurements of a parallel run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParData {
     /// Final per-lane transfer stats, in worker order (warm-up included
     /// when charged).

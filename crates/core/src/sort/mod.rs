@@ -23,6 +23,10 @@
 //!   scheduler detail for parallel runs.
 //! * [`sorters`] — the registry; experiments and differential tests
 //!   enumerate it instead of hard-coding call sites.
+//! * [`SortSpec::predict`] — the paper's cost bounds evaluated pre-run as a
+//!   [`CostEstimate`], the admission-control currency of the job server.
+//! * [`SortSpec::to_json`] / [`SortOutcome::to_json`] — the JSON wire
+//!   format ([`wire`]), with every decode failure a typed [`WireError`].
 //!
 //! ```
 //! use asym_core::sort::{Algorithm, SortSpec};
@@ -45,13 +49,17 @@
 //! ```
 
 pub mod adapters;
+pub mod predict;
 pub mod spec;
+pub mod wire;
 
 pub use adapters::{
     run, sorter_for, sorters, HeapsortSorter, MergesortSorter, ParData, ParSamplesortSorter,
     SamplesortSorter, SortOutcome, Sorter,
 };
+pub use predict::CostEstimate;
 pub use spec::{
     env_backend, env_thread_cap, parse_backend, parse_thread_cap, Algorithm, SortSpec,
     SortSpecBuilder, SpecError, BACKEND_ENV, THREADS_ENV,
 };
+pub use wire::WireError;

@@ -42,6 +42,12 @@ impl Algorithm {
         }
     }
 
+    /// Parse an algorithm from its stable [`Algorithm::name`] (the wire
+    /// format and bench JSON both name algorithms this way).
+    pub fn parse(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.name() == name)
+    }
+
     /// Whether the algorithm runs on lane-sharded machines (`lanes > 1`
     /// meaningful) rather than one sequential machine.
     pub fn is_parallel(self) -> bool {
@@ -282,6 +288,12 @@ impl SortSpec {
     /// Seed driving sampling and scheduler simulation.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The directory the file backend's backing files live in (`None`: the
+    /// system temp dir, or not the file backend at all).
+    pub fn file_dir(&self) -> Option<&std::path::Path> {
+        self.file_dir.as_deref()
     }
 
     /// Extra primary memory beyond `M`, in records.
@@ -590,5 +602,9 @@ mod tests {
         assert!(Algorithm::ParSamplesort.is_parallel());
         assert!(!Algorithm::Heapsort.is_parallel());
         assert_eq!(Algorithm::ALL.len(), 4);
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::parse("quicksort"), None);
     }
 }

@@ -1,0 +1,593 @@
+//! The JSON wire format: [`SortSpec`] and [`SortOutcome`] as network
+//! payloads.
+//!
+//! `SortSpec` was already a validated, serializable-in-spirit job
+//! description; this module makes it an actual wire format so jobs can
+//! arrive over HTTP (the `asym-serve` front door), from config files, or
+//! from replayed audit logs. Everything is built on the dependency-free
+//! [`asym_model::json`] codec, and every failure is typed:
+//!
+//! * syntactic problems (bad JSON, missing fields, unknown names) are
+//!   [`WireError::Malformed`];
+//! * semantically invalid job descriptions surface the builder's
+//!   [`SpecError`] verbatim as [`WireError::Spec`] — the wire layer adds no
+//!   second validation path, it routes through [`SortSpecBuilder::build`]
+//!   like every other caller.
+//!
+//! [`WireError::to_json`] renders either case as a structured error payload
+//! (`{"error": ..., "kind": ..., "message": ...}`) so HTTP clients can
+//! dispatch on `kind` instead of parsing prose.
+//!
+//! Integers cross the wire exactly — record keys and seeds are full-range
+//! `u64`, which is why [`asym_model::json`] keeps bare digit runs out of
+//! `f64` (see `Json::Int`). Round trips are property-tested in
+//! `tests/wire_roundtrip.rs`.
+//!
+//! [`SortSpecBuilder::build`]: super::spec::SortSpecBuilder::build
+
+use super::adapters::{ParData, SortOutcome};
+use super::spec::{Algorithm, SortSpec, SpecError};
+use asym_model::json::{self, Json, JsonArr, JsonObj};
+use asym_model::Record;
+use em_sim::{Backend, EmStats};
+use wd_sim::{Cost, StealStats};
+
+/// Why a wire payload failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The document is not JSON, or not the expected shape (missing or
+    /// ill-typed fields, unknown algorithm/backend/phase names).
+    Malformed(String),
+    /// The document decoded fine but describes an invalid job.
+    Spec(SpecError),
+}
+
+impl WireError {
+    /// Render as a structured error payload. `Malformed` carries its
+    /// message; `Spec` carries a stable `kind` slug plus the variant's
+    /// fields, so clients dispatch on structure rather than prose.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        match self {
+            WireError::Malformed(msg) => {
+                o.str("error", "malformed").str("message", msg);
+            }
+            WireError::Spec(e) => {
+                o.str("error", "spec")
+                    .str("kind", spec_error_kind(e))
+                    .str("message", &e.to_string());
+                match e {
+                    SpecError::BlockExceedsMemory { b, m } => {
+                        o.u64("b", *b as u64).u64("m", *m as u64);
+                    }
+                    SpecError::FanInTooSmall { fan_in } => {
+                        o.u64("fan_in", *fan_in as u64);
+                    }
+                    SpecError::LanesOnSerialSort { algorithm, lanes } => {
+                        o.str("algorithm", algorithm.name())
+                            .u64("lanes", *lanes as u64);
+                    }
+                    SpecError::GeometryOverflow { m, k } => {
+                        o.u64("m", *m as u64).u64("k", *k as u64);
+                    }
+                    SpecError::Env {
+                        var,
+                        value,
+                        expected,
+                    } => {
+                        o.str("var", var)
+                            .str("value", value)
+                            .str("expected", expected);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            WireError::Spec(e) => write!(f, "invalid job description: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<SpecError> for WireError {
+    fn from(e: SpecError) -> Self {
+        WireError::Spec(e)
+    }
+}
+
+/// The stable machine-readable slug for each [`SpecError`] variant.
+fn spec_error_kind(e: &SpecError) -> &'static str {
+    match e {
+        SpecError::ZeroOmega => "zero_omega",
+        SpecError::ZeroBlock => "zero_block",
+        SpecError::BlockExceedsMemory { .. } => "block_exceeds_memory",
+        SpecError::ZeroWriteFactor => "zero_write_factor",
+        SpecError::FanInTooSmall { .. } => "fan_in_too_small",
+        SpecError::ZeroLanes => "zero_lanes",
+        SpecError::LanesOnSerialSort { .. } => "lanes_on_serial_sort",
+        SpecError::GeometryOverflow { .. } => "geometry_overflow",
+        SpecError::Env { .. } => "env",
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+fn req_u64(obj: &[(String, Json)], key: &str) -> Result<u64, WireError> {
+    json::get_u64(obj, key).ok_or_else(|| malformed(format!("missing numeric field {key:?}")))
+}
+
+impl SortSpec {
+    /// Render the job description as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("algorithm", self.algorithm().name())
+            .u64("m", self.m() as u64)
+            .u64("b", self.b() as u64)
+            .u64("omega", self.omega())
+            .u64("k", self.k() as u64)
+            .u64("lanes", self.lanes() as u64)
+            .str("backend", self.backend().name())
+            .u64("seed", self.seed())
+            .u64("slack", self.slack() as u64)
+            .bool("steal_charge", self.steal_charge());
+        if let Some(dir) = self.file_dir() {
+            o.str("file_dir", &dir.display().to_string());
+        }
+        o.finish()
+    }
+
+    /// Decode a job description, validating through the normal builder.
+    /// Required fields: `algorithm`, `m`, `b`, `omega`; everything else
+    /// defaults like [`SortSpec::builder`]. [`Backend::Custom`] is not
+    /// wire-nameable (custom stores are constructed in code).
+    pub fn from_json(text: &str) -> Result<SortSpec, WireError> {
+        let v = Json::parse(text).map_err(WireError::Malformed)?;
+        Self::from_json_value(&v)
+    }
+
+    /// Decode from an already-parsed [`Json`] value (e.g. a field of a
+    /// larger request object).
+    pub fn from_json_value(v: &Json) -> Result<SortSpec, WireError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| malformed("spec must be a JSON object"))?;
+        let name = json::get_str(obj, "algorithm")
+            .ok_or_else(|| malformed("missing string field \"algorithm\""))?;
+        let algorithm = Algorithm::parse(&name)
+            .ok_or_else(|| malformed(format!("unknown algorithm {name:?}")))?;
+        let m = req_u64(obj, "m")? as usize;
+        let b = req_u64(obj, "b")? as usize;
+        let omega = req_u64(obj, "omega")?;
+        let mut builder = SortSpec::builder(algorithm, m, b, omega);
+        if let Some(k) = json::get_u64(obj, "k") {
+            builder = builder.k(k as usize);
+        }
+        if let Some(lanes) = json::get_u64(obj, "lanes") {
+            builder = builder.lanes(lanes as usize);
+        }
+        if let Some(seed) = json::get_u64(obj, "seed") {
+            builder = builder.seed(seed);
+        }
+        if let Some(slack) = json::get_u64(obj, "slack") {
+            builder = builder.slack(slack as usize);
+        }
+        if let Some(on) = json::get_bool(obj, "steal_charge") {
+            builder = builder.steal_charge(on);
+        }
+        if let Some(name) = json::get_str(obj, "backend") {
+            let backend = Backend::parse(&name)
+                .ok_or_else(|| malformed(format!("unknown backend {name:?}")))?;
+            builder = builder.backend(backend);
+        }
+        if let Some(dir) = json::get_str(obj, "file_dir") {
+            builder = builder.file_dir(dir);
+        }
+        builder.build().map_err(WireError::Spec)
+    }
+}
+
+// ---- outcome telemetry ------------------------------------------------------
+
+/// The parallel phase names that can appear on the wire (the fixed phase
+/// sequence of the parallel sample sort, plus the appended steal-warm-up
+/// phase). Decoding interns onto these `'static` names.
+const PHASE_NAMES: [&str; 6] = [
+    "sample-scan",
+    "splitter-sort",
+    "count",
+    "exchange",
+    "bucket-sort",
+    "steal-warmup",
+];
+
+fn intern_phase(name: &str) -> Option<&'static str> {
+    PHASE_NAMES.iter().find(|p| **p == name).copied()
+}
+
+fn stats_json(s: &EmStats) -> String {
+    let mut o = JsonObj::new();
+    o.u64("reads", s.block_reads)
+        .u64("writes", s.block_writes)
+        .u64("peak_memory", s.peak_memory as u64);
+    o.finish()
+}
+
+fn stats_from(v: &Json, what: &str) -> Result<EmStats, WireError> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| malformed(format!("{what} must be an object")))?;
+    Ok(EmStats {
+        block_reads: req_u64(obj, "reads")?,
+        block_writes: req_u64(obj, "writes")?,
+        peak_memory: req_u64(obj, "peak_memory")? as usize,
+    })
+}
+
+fn cost_json(c: &Cost) -> String {
+    let mut o = JsonObj::new();
+    o.u64("reads", c.reads)
+        .u64("writes", c.writes)
+        .u64("depth", c.depth);
+    o.finish()
+}
+
+fn cost_from(v: &Json, what: &str) -> Result<Cost, WireError> {
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| malformed(format!("{what} must be an object")))?;
+    Ok(Cost {
+        reads: req_u64(obj, "reads")?,
+        writes: req_u64(obj, "writes")?,
+        depth: req_u64(obj, "depth")?,
+    })
+}
+
+impl SortOutcome {
+    /// Render the outcome as JSON telemetry: the merged stats, ω, the
+    /// weighted total, per-lane / per-phase / scheduler detail for parallel
+    /// runs, and — only when `include_output` — the sorted records
+    /// themselves as `[key, payload]` pairs (telemetry consumers usually
+    /// want counts, not payload bytes).
+    pub fn to_json(&self, include_output: bool) -> String {
+        let mut o = JsonObj::new();
+        o.u64("reads", self.stats.block_reads)
+            .u64("writes", self.stats.block_writes)
+            .u64("peak_memory", self.stats.peak_memory as u64)
+            .u64("omega", self.report.omega)
+            .u64("io_cost", self.io_cost())
+            .u64("output_len", self.output.len() as u64);
+        if include_output {
+            let mut arr = JsonArr::new();
+            for r in &self.output {
+                arr.raw(&format!("[{}, {}]", r.key, r.payload));
+            }
+            o.raw("output", &arr.finish());
+        }
+        if let Some(par) = &self.parallel {
+            let mut p = JsonObj::new();
+            let mut lanes = JsonArr::new();
+            for lane in &par.lane_stats {
+                lanes.raw(&stats_json(lane));
+            }
+            p.raw("lane_stats", &lanes.finish());
+            let mut phases = JsonArr::new();
+            for (name, cost) in &par.phase_costs {
+                let mut ph = JsonObj::new();
+                ph.str("name", name).raw("cost", &cost_json(cost));
+                phases.raw(&ph.finish());
+            }
+            p.raw("phases", &phases.finish());
+            p.raw("cost", &cost_json(&par.cost));
+            let mut sched = JsonObj::new();
+            sched
+                .u64("steals", par.sched.steals)
+                .u64("failed_steals", par.sched.failed_steals)
+                .u64("time", par.sched.time)
+                .u64("work", par.sched.work)
+                .u64("depth", par.sched.depth);
+            p.raw("sched", &sched.finish());
+            p.raw("steal_warmup", &stats_json(&par.steal_warmup));
+            o.raw("parallel", &p.finish());
+        }
+        o.finish()
+    }
+
+    /// Decode telemetry back into a [`SortOutcome`]. An absent `output`
+    /// field (telemetry without payload) decodes as an empty output vector;
+    /// `output_len` is informative only.
+    pub fn from_json(text: &str) -> Result<SortOutcome, WireError> {
+        let v = Json::parse(text).map_err(WireError::Malformed)?;
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| malformed("outcome must be a JSON object"))?;
+        let stats = EmStats {
+            block_reads: req_u64(obj, "reads")?,
+            block_writes: req_u64(obj, "writes")?,
+            peak_memory: req_u64(obj, "peak_memory")? as usize,
+        };
+        let omega = req_u64(obj, "omega")?;
+        let mut output = Vec::new();
+        if let Some(arr) = json::find(obj, "output") {
+            let items = arr
+                .as_arr()
+                .ok_or_else(|| malformed("\"output\" must be an array"))?;
+            for item in items {
+                let pair = item
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| malformed("output records are [key, payload] pairs"))?;
+                let key = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| malformed("record key must be a u64"))?;
+                let payload = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| malformed("record payload must be a u64"))?;
+                output.push(Record::new(key, payload));
+            }
+        }
+        let parallel = match json::find(obj, "parallel") {
+            None => None,
+            Some(p) => {
+                let po = p
+                    .as_obj()
+                    .ok_or_else(|| malformed("\"parallel\" must be an object"))?;
+                let lane_stats = json::find(po, "lane_stats")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| malformed("missing \"lane_stats\" array"))?
+                    .iter()
+                    .map(|v| stats_from(v, "lane stats"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut phase_costs = Vec::new();
+                for ph in json::find(po, "phases")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| malformed("missing \"phases\" array"))?
+                {
+                    let pho = ph
+                        .as_obj()
+                        .ok_or_else(|| malformed("phase must be an object"))?;
+                    let name = json::get_str(pho, "name")
+                        .ok_or_else(|| malformed("phase missing \"name\""))?;
+                    let name = intern_phase(&name)
+                        .ok_or_else(|| malformed(format!("unknown phase {name:?}")))?;
+                    let cost = cost_from(
+                        json::find(pho, "cost").ok_or_else(|| malformed("phase missing cost"))?,
+                        "phase cost",
+                    )?;
+                    phase_costs.push((name, cost));
+                }
+                let cost = cost_from(
+                    json::find(po, "cost").ok_or_else(|| malformed("missing \"cost\""))?,
+                    "cost",
+                )?;
+                let so = json::find(po, "sched")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| malformed("missing \"sched\" object"))?;
+                let sched = StealStats {
+                    steals: req_u64(so, "steals")?,
+                    failed_steals: req_u64(so, "failed_steals")?,
+                    time: req_u64(so, "time")?,
+                    work: req_u64(so, "work")?,
+                    depth: req_u64(so, "depth")?,
+                };
+                let steal_warmup = stats_from(
+                    json::find(po, "steal_warmup")
+                        .ok_or_else(|| malformed("missing \"steal_warmup\""))?,
+                    "steal warm-up",
+                )?;
+                Some(ParData {
+                    lane_stats,
+                    phase_costs,
+                    cost,
+                    sched,
+                    steal_warmup,
+                })
+            }
+        };
+        Ok(SortOutcome {
+            output,
+            stats,
+            report: stats.report(omega),
+            parallel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::run;
+    use asym_model::workload::Workload;
+
+    #[test]
+    fn spec_round_trips_for_every_algorithm() {
+        for algorithm in Algorithm::ALL {
+            let spec = SortSpec::builder(algorithm, 64, 8, 16)
+                .k(2)
+                .lanes(if algorithm.is_parallel() { 4 } else { 1 })
+                .seed(0xFEED_FACE_CAFE_BEEF)
+                .steal_charge(algorithm.is_parallel())
+                .build()
+                .expect("valid spec");
+            let decoded = SortSpec::from_json(&spec.to_json()).expect("decode");
+            assert_eq!(decoded, spec, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn spec_with_file_dir_round_trips() {
+        let spec = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+            .backend(Backend::File)
+            .file_dir("/tmp/job-17")
+            .build()
+            .expect("valid spec");
+        let decoded = SortSpec::from_json(&spec.to_json()).expect("decode");
+        assert_eq!(decoded, spec);
+        assert_eq!(
+            decoded.file_dir().unwrap().display().to_string(),
+            "/tmp/job-17"
+        );
+    }
+
+    #[test]
+    fn minimal_spec_takes_builder_defaults() {
+        let decoded =
+            SortSpec::from_json(r#"{"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8}"#)
+                .expect("decode");
+        let built = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+            .build()
+            .unwrap();
+        assert_eq!(decoded, built);
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for (text, needle) in [
+            ("{", "expected"),
+            ("[1]", "must be a JSON object"),
+            (r#"{"m": 32}"#, "algorithm"),
+            (
+                r#"{"algorithm": "bogosort", "m": 32, "b": 4, "omega": 8}"#,
+                "unknown algorithm",
+            ),
+            (
+                r#"{"algorithm": "aem-mergesort", "b": 4, "omega": 8}"#,
+                "\"m\"",
+            ),
+            (
+                r#"{"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8, "backend": "nvme"}"#,
+                "unknown backend",
+            ),
+        ] {
+            let err = SortSpec::from_json(text).unwrap_err();
+            assert!(
+                matches!(err, WireError::Malformed(ref m) if m.contains(needle)),
+                "{text}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_specs_surface_spec_errors_as_structured_payloads() {
+        // Valid JSON, invalid job: lanes on a serial sort.
+        let err = SortSpec::from_json(
+            r#"{"algorithm": "aem-heapsort", "m": 32, "b": 4, "omega": 8, "lanes": 4}"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Spec(SpecError::LanesOnSerialSort {
+                algorithm: Algorithm::Heapsort,
+                lanes: 4
+            })
+        );
+        let payload = Json::parse(&err.to_json()).expect("error payload is JSON");
+        assert_eq!(payload.get("error").and_then(Json::as_str), Some("spec"));
+        assert_eq!(
+            payload.get("kind").and_then(Json::as_str),
+            Some("lanes_on_serial_sort")
+        );
+        assert_eq!(
+            payload.get("algorithm").and_then(Json::as_str),
+            Some("aem-heapsort")
+        );
+        assert_eq!(payload.get("lanes").and_then(Json::as_u64), Some(4));
+        assert!(payload.get("message").is_some());
+    }
+
+    #[test]
+    fn every_spec_error_variant_renders_kind_and_parses() {
+        let variants = [
+            SpecError::ZeroOmega,
+            SpecError::ZeroBlock,
+            SpecError::BlockExceedsMemory { b: 8, m: 4 },
+            SpecError::ZeroWriteFactor,
+            SpecError::FanInTooSmall { fan_in: 1 },
+            SpecError::ZeroLanes,
+            SpecError::LanesOnSerialSort {
+                algorithm: Algorithm::Mergesort,
+                lanes: 2,
+            },
+            SpecError::GeometryOverflow {
+                m: usize::MAX,
+                k: 2,
+            },
+            SpecError::Env {
+                var: "ASYM_BENCH_BACKEND",
+                value: "nvme".into(),
+                expected: "\"mem\" or \"file\"",
+            },
+        ];
+        let mut kinds = std::collections::HashSet::new();
+        for e in variants {
+            let payload = Json::parse(&WireError::Spec(e).to_json()).expect("parses");
+            let kind = payload
+                .get("kind")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned();
+            assert!(kinds.insert(kind), "kind slugs must be distinct");
+        }
+        assert_eq!(kinds.len(), 9);
+    }
+
+    #[test]
+    fn sequential_outcome_round_trips_with_and_without_output() {
+        let spec = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+            .k(2)
+            .build()
+            .unwrap();
+        let input = Workload::UniformRandom.generate(500, 7);
+        let outcome = run(&spec, &input).expect("run");
+        let with = SortOutcome::from_json(&outcome.to_json(true)).expect("decode");
+        assert_eq!(with.output, outcome.output, "full-range keys survive");
+        assert_eq!(with.stats, outcome.stats);
+        assert_eq!(with.report, outcome.report);
+        assert!(with.parallel.is_none());
+        let without = SortOutcome::from_json(&outcome.to_json(false)).expect("decode");
+        assert!(without.output.is_empty());
+        assert_eq!(without.stats, outcome.stats);
+    }
+
+    #[test]
+    fn parallel_outcome_round_trips_all_detail() {
+        let spec = SortSpec::builder(Algorithm::ParSamplesort, 32, 4, 8)
+            .lanes(4)
+            .steal_charge(true)
+            .build()
+            .unwrap();
+        let input = Workload::Zipf.generate(600, 3);
+        let outcome = run(&spec, &input).expect("run");
+        let decoded = SortOutcome::from_json(&outcome.to_json(true)).expect("decode");
+        assert_eq!(decoded.output, outcome.output);
+        assert_eq!(decoded.stats, outcome.stats);
+        let (a, b) = (decoded.parallel.unwrap(), outcome.parallel.unwrap());
+        assert_eq!(a.lane_stats, b.lane_stats);
+        assert_eq!(a.phase_costs, b.phase_costs);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.sched, b.sched);
+        assert_eq!(a.steal_warmup, b.steal_warmup);
+    }
+
+    #[test]
+    fn unknown_phase_names_are_rejected() {
+        let text = r#"{ "reads": 1, "writes": 1, "peak_memory": 4, "omega": 8, "output_len": 0,
+            "parallel": { "lane_stats": [],
+                "phases": [{ "name": "warp-drive", "cost": { "reads": 0, "writes": 0, "depth": 0 } }],
+                "cost": { "reads": 0, "writes": 0, "depth": 0 },
+                "sched": { "steals": 0, "failed_steals": 0, "time": 0, "work": 0, "depth": 0 },
+                "steal_warmup": { "reads": 0, "writes": 0, "peak_memory": 0 } } }"#;
+        let err = SortOutcome::from_json(text).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(ref m) if m.contains("warp-drive")));
+    }
+}

@@ -12,6 +12,8 @@
 //!   nearly sorted, few-distinct, Zipf, organ pipe).
 //! * [`stats`] — small statistics helpers (means, log-log slope fits) used when
 //!   checking empirical growth rates against the paper's bounds.
+//! * [`json`] — the dependency-free JSON parser/emitter shared by the bench
+//!   reports, the sort-job wire codec, and the job server.
 //! * [`table`] — a plain-text table builder used by the experiment harness.
 //!
 //! The crate is deliberately free of machine-specific logic: the External
@@ -21,6 +23,7 @@
 
 pub mod cost;
 pub mod counters;
+pub mod json;
 pub mod record;
 pub mod stats;
 pub mod table;

@@ -62,6 +62,12 @@ impl Workload {
         }
     }
 
+    /// Parse a generator from its [`Workload::name`] (job descriptions
+    /// arriving over the wire name their input distribution).
+    pub fn parse(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|wl| wl.name() == name)
+    }
+
     /// Generate `n` records with payload = original index.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Record> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
@@ -155,6 +161,14 @@ fn zipf_sample(n: u64, s: f64, rng: &mut StdRng) -> u64 {
 mod tests {
     use super::*;
     use crate::record::is_sorted;
+
+    #[test]
+    fn names_parse_back_to_their_generator() {
+        for wl in Workload::ALL {
+            assert_eq!(Workload::parse(wl.name()), Some(wl));
+        }
+        assert_eq!(Workload::parse("gaussian"), None);
+    }
 
     #[test]
     fn generators_produce_requested_length() {

@@ -1,0 +1,146 @@
+//! CI smoke check for the sort service: start a real server on loopback,
+//! submit one acceptable and one over-budget job over actual HTTP, verify
+//! the telemetry parses and the count gates hold, then drain. Exits
+//! non-zero (panics) on any violation — `bench_check` style.
+
+use asym_core::sort::SortOutcome;
+use asym_model::json::Json;
+use asym_serve::{serve, ServiceConfig, SortService};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const ACCEPTED_JOB: &str = r#"{
+    "spec": {"algorithm": "par-aem-samplesort", "m": 64, "b": 8, "omega": 16, "k": 2, "lanes": 4},
+    "workload": "uniform", "records": 20000, "data_seed": 7, "include_output": false }"#;
+
+const OVERSIZED_JOB: &str = r#"{
+    "spec": {"algorithm": "aem-mergesort", "m": 16777216, "b": 8, "omega": 16},
+    "workload": "uniform", "records": 1000, "data_seed": 7, "include_output": false }"#;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("status code");
+    (
+        code,
+        response.split_once("\r\n\r\n").expect("body").1.to_string(),
+    )
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("asym-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let service = SortService::start(ServiceConfig {
+        workers: 2,
+        budget_bytes: 64 << 20,
+        root_dir: root.clone(),
+    })
+    .expect("start service");
+    let server = serve(service, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    println!("serve_smoke: listening on {addr}");
+
+    let (code, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(code, 200, "healthz: {body}");
+
+    // One job the budget admits...
+    let (code, body) = request(addr, "POST", "/jobs", ACCEPTED_JOB);
+    assert_eq!(code, 202, "submit: {body}");
+    let id = Json::parse(&body)
+        .expect("submit response parses")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("job id");
+    println!("serve_smoke: job {id} accepted");
+
+    // ...and one whose predicted peak no budget this size can hold.
+    let (code, body) = request(addr, "POST", "/jobs", OVERSIZED_JOB);
+    assert_eq!(code, 429, "oversized submit: {body}");
+    let rejection = Json::parse(&body).expect("rejection parses");
+    assert_eq!(
+        rejection.get("error").and_then(Json::as_str),
+        Some("rejected")
+    );
+    let predicted = rejection
+        .get("predicted")
+        .and_then(Json::as_u64)
+        .expect("predicted");
+    let available = rejection
+        .get("available")
+        .and_then(Json::as_u64)
+        .expect("available");
+    assert!(predicted > available, "rejection must be a real shortfall");
+    println!(
+        "serve_smoke: oversized job rejected ({predicted} B predicted, {available} B available)"
+    );
+
+    // Poll the accepted job to completion; its telemetry must decode.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let outcome = loop {
+        let (code, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(code, 200, "status: {body}");
+        let v = Json::parse(&body).expect("status parses");
+        match v.get("state").and_then(Json::as_str).expect("state") {
+            "completed" => {
+                let telemetry = v.get("outcome").expect("outcome present").render();
+                break SortOutcome::from_json(&telemetry).expect("telemetry decodes");
+            }
+            "failed" => panic!("job failed: {body}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "job did not finish");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    };
+    // Count gates: a real 20k-record parallel sort moved real blocks.
+    assert!(outcome.stats.block_reads > 0, "no reads counted");
+    assert!(outcome.stats.block_writes > 0, "no writes counted");
+    assert!(outcome.report.total() >= outcome.stats.block_reads);
+    println!(
+        "serve_smoke: job {id} completed ({} reads, {} writes, io cost {})",
+        outcome.stats.block_reads,
+        outcome.stats.block_writes,
+        outcome.report.total(),
+    );
+
+    let (code, body) = request(addr, "GET", "/stats", "");
+    assert_eq!(code, 200, "stats: {body}");
+    let v = Json::parse(&body).expect("stats parse");
+    assert_eq!(v.get("submitted").and_then(Json::as_u64), Some(1), "{body}");
+    assert_eq!(v.get("rejected").and_then(Json::as_u64), Some(1), "{body}");
+    assert_eq!(v.get("completed").and_then(Json::as_u64), Some(1), "{body}");
+
+    let (code, body) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200, "shutdown: {body}");
+    assert_eq!(
+        Json::parse(&body)
+            .expect("parses")
+            .get("drained")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    drop(server);
+
+    let audit = std::fs::read_to_string(root.join("audit.jsonl")).expect("audit log");
+    for line in audit.lines() {
+        Json::parse(line).expect("audit line parses");
+    }
+    assert!(
+        audit.lines().count() >= 4,
+        "audit must hold the whole session"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+    println!("serve_smoke: ok");
+}

@@ -1,0 +1,205 @@
+//! The HTTP/1.1 front door: [`SortService`] over a `std::net::TcpListener`.
+//!
+//! Deliberately minimal — the same dependency-free discipline as the JSON
+//! codec. One request per connection (`Connection: close`), bodies framed
+//! by `Content-Length`, every response `application/json`. Routes:
+//!
+//! | Method | Path          | Meaning                                       |
+//! |--------|---------------|-----------------------------------------------|
+//! | GET    | `/healthz`    | liveness → `{"ok": true}`                     |
+//! | POST   | `/jobs`       | submit a [`JobRequest`] → `202` + id, `429` on admission rejection, `400` on malformed/invalid payloads |
+//! | GET    | `/jobs/<id>`  | job status/telemetry → `200`, `404` unknown   |
+//! | GET    | `/stats`      | service counters                              |
+//! | POST   | `/shutdown`   | graceful drain, respond, stop accepting       |
+//!
+//! The accept loop runs on its own thread; [`ServerHandle::shutdown`]
+//! triggers the same drain as `POST /shutdown`, nudging the blocking
+//! `accept` with a loopback self-connection.
+
+use crate::job::JobRequest;
+use crate::service::SortService;
+use asym_model::json::JsonObj;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Largest accepted request body; bigger submissions get `400`.
+const MAX_BODY: usize = 1 << 20;
+
+/// A running HTTP server wrapping a [`SortService`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    service: Arc<SortService>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the listener (for in-process inspection).
+    pub fn service(&self) -> &SortService {
+        &self.service
+    }
+
+    /// Drain the service and stop the accept loop (idempotent; also runs
+    /// on drop).
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Nudge the blocking accept() so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.service.drain();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `service` until shutdown.
+pub fn serve(service: SortService, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(service);
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("sort-http".into())
+            .spawn(move || accept_loop(&listener, &service, &stop))?
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        service,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, service: &SortService, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        // One request per connection, handled inline: submissions are
+        // admission decisions (microseconds), the sorts themselves run on
+        // the worker pool.
+        if let HandleResult::Shutdown = handle(stream, service) {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+enum HandleResult {
+    KeepServing,
+    Shutdown,
+}
+
+fn handle(stream: TcpStream, service: &SortService) -> HandleResult {
+    let mut reader = BufReader::new(stream);
+    let Some((method, path, body)) = read_request(&mut reader) else {
+        respond(
+            reader.into_inner(),
+            400,
+            "Bad Request",
+            r#"{"error": "malformed", "message": "unreadable HTTP request"}"#,
+        );
+        return HandleResult::KeepServing;
+    };
+    let stream = reader.into_inner();
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => respond(stream, 200, "OK", r#"{"ok": true}"#),
+        ("GET", "/stats") => respond(stream, 200, "OK", &service.stats().to_json()),
+        ("POST", "/jobs") => match JobRequest::from_json(&body) {
+            Err(e) => respond(stream, 400, "Bad Request", &e.to_json()),
+            Ok(request) => match service.submit(request) {
+                Ok(id) => {
+                    let status = service.status(id).expect("submitted job exists");
+                    let mut o = JsonObj::new();
+                    o.u64("id", id).raw("status", &status.to_json());
+                    respond(stream, 202, "Accepted", &o.finish());
+                }
+                Err(e @ crate::service::SubmitError::Rejected { .. }) => {
+                    respond(stream, 429, "Too Many Requests", &e.to_json());
+                }
+                Err(e) => respond(stream, 503, "Service Unavailable", &e.to_json()),
+            },
+        },
+        ("GET", p) if p.starts_with("/jobs/") => {
+            match p["/jobs/".len()..]
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| service.status(id))
+            {
+                Some(status) => respond(stream, 200, "OK", &status.to_json()),
+                None => respond(stream, 404, "Not Found", r#"{"error": "unknown job"}"#),
+            }
+        }
+        ("POST", "/shutdown") => {
+            service.drain();
+            let mut o = JsonObj::new();
+            o.bool("drained", true)
+                .raw("stats", &service.stats().to_json());
+            respond(stream, 200, "OK", &o.finish());
+            return HandleResult::Shutdown;
+        }
+        _ => respond(stream, 404, "Not Found", r#"{"error": "no such route"}"#),
+    }
+    HandleResult::KeepServing
+}
+
+/// Parse one request: the request line, headers (only `Content-Length`
+/// matters), then exactly that many body bytes. `None` on anything
+/// unframeable.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Option<(String, String, String)> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().ok()?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((method, path, String::from_utf8(body).ok()?))
+}
+
+fn respond(mut stream: TcpStream, code: u16, reason: &str, body: &str) {
+    let msg = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    // The client may already have hung up; nothing useful to do about it.
+    let _ = stream.write_all(msg.as_bytes());
+    let _ = stream.flush();
+}

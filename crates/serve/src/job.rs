@@ -1,0 +1,234 @@
+//! Job descriptions and job lifecycle: what a client submits and what it
+//! can observe afterwards.
+//!
+//! A [`JobRequest`] is a [`SortSpec`] plus the data to sort, described by
+//! name — a [`Workload`] generator, a record count, and a seed — so the
+//! request stays a few hundred bytes no matter how large the job is, and
+//! the service regenerates identical input on its side (the same convention
+//! the bench harness uses). `include_output` chooses between lean telemetry
+//! and full sorted output in the completion payload.
+
+use asym_core::sort::{CostEstimate, SortSpec, WireError};
+use asym_model::json::{self, Json, JsonObj};
+use asym_model::workload::Workload;
+
+/// Identifies one submitted job for the rest of its life (assigned by the
+/// service, monotonically increasing).
+pub type JobId = u64;
+
+/// One sort job as submitted over the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRequest {
+    /// The validated job description (algorithm, geometry, backend, ...).
+    pub spec: SortSpec,
+    /// Named input generator; the service regenerates the data server-side.
+    pub workload: Workload,
+    /// How many records to generate and sort.
+    pub records: usize,
+    /// Seed for the workload generator.
+    pub data_seed: u64,
+    /// Include the sorted records in the completion telemetry (off for
+    /// stats-only submissions).
+    pub include_output: bool,
+}
+
+impl JobRequest {
+    /// The pre-run cost bounds the service admits on.
+    pub fn predict(&self) -> CostEstimate {
+        self.spec.predict(self.records)
+    }
+
+    /// Render as a single-line JSON object (`spec` nested verbatim).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.raw("spec", &self.spec.to_json())
+            .str("workload", self.workload.name())
+            .u64("records", self.records as u64)
+            .u64("data_seed", self.data_seed)
+            .bool("include_output", self.include_output);
+        o.finish()
+    }
+
+    /// Decode a request; the nested spec goes through the normal
+    /// [`SortSpec`] wire decoding and builder validation. `data_seed`
+    /// defaults to 0 and `include_output` to false.
+    pub fn from_json(text: &str) -> Result<JobRequest, WireError> {
+        let v = Json::parse(text).map_err(WireError::Malformed)?;
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| WireError::Malformed("job request must be a JSON object".into()))?;
+        let spec = SortSpec::from_json_value(
+            json::find(obj, "spec")
+                .ok_or_else(|| WireError::Malformed("missing \"spec\" object".into()))?,
+        )?;
+        let name = json::get_str(obj, "workload")
+            .ok_or_else(|| WireError::Malformed("missing string field \"workload\"".into()))?;
+        let workload = Workload::parse(&name)
+            .ok_or_else(|| WireError::Malformed(format!("unknown workload {name:?}")))?;
+        let records = json::get_u64(obj, "records")
+            .ok_or_else(|| WireError::Malformed("missing numeric field \"records\"".into()))?
+            as usize;
+        Ok(JobRequest {
+            spec,
+            workload,
+            records,
+            data_seed: json::get_u64(obj, "data_seed").unwrap_or(0),
+            include_output: json::get_bool(obj, "include_output").unwrap_or(false),
+        })
+    }
+}
+
+/// Where a job is in its life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished; telemetry is available.
+    Completed,
+    /// The sort itself failed (e.g. file backend I/O error).
+    Failed,
+}
+
+impl JobState {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// A point-in-time view of one job, as returned by
+/// [`SortService::status`](crate::SortService::status).
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// The job.
+    pub id: JobId,
+    /// Lifecycle state at the time of the query.
+    pub state: JobState,
+    /// The admission-time prediction.
+    pub predicted: CostEstimate,
+    /// Completion telemetry ([`SortOutcome::to_json`]) once `Completed`.
+    ///
+    /// [`SortOutcome::to_json`]: asym_core::sort::SortOutcome::to_json
+    pub telemetry: Option<String>,
+    /// The failure message once `Failed`.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// Render as JSON: id, state, the predicted bounds, and — depending on
+    /// state — the nested outcome telemetry or the error message.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("id", self.id).str("state", self.state.name());
+        let mut p = JsonObj::new();
+        p.u64("reads", self.predicted.reads)
+            .u64("writes", self.predicted.writes)
+            .u64("peak_memory", self.predicted.peak_memory as u64)
+            .u64("peak_bytes", self.predicted.peak_bytes())
+            .u64("io_cost", self.predicted.io_cost());
+        o.raw("predicted", &p.finish());
+        if let Some(t) = &self.telemetry {
+            o.raw("outcome", t);
+        }
+        if let Some(e) = &self.error {
+            o.str("error", e);
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_core::sort::Algorithm;
+
+    fn request() -> JobRequest {
+        JobRequest {
+            spec: SortSpec::builder(Algorithm::ParSamplesort, 64, 8, 16)
+                .k(2)
+                .lanes(4)
+                .seed(u64::MAX - 1)
+                .build()
+                .unwrap(),
+            workload: Workload::Zipf,
+            records: 5_000,
+            data_seed: 0xDEAD_BEEF_DEAD_BEEF,
+            include_output: true,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let r = request();
+        let decoded = JobRequest::from_json(&r.to_json()).expect("decode");
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn optional_fields_default() {
+        let text = r#"{ "spec": {"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8},
+                        "workload": "uniform", "records": 100 }"#;
+        let r = JobRequest::from_json(text).expect("decode");
+        assert_eq!(r.data_seed, 0);
+        assert!(!r.include_output);
+    }
+
+    #[test]
+    fn bad_requests_are_typed() {
+        for (text, needle) in [
+            ("42", "must be a JSON object"),
+            (r#"{"workload": "zipf", "records": 9}"#, "\"spec\""),
+            (
+                r#"{ "spec": {"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8},
+                    "workload": "cauchy", "records": 9 }"#,
+                "unknown workload",
+            ),
+            (
+                r#"{ "spec": {"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8},
+                    "workload": "zipf" }"#,
+                "\"records\"",
+            ),
+        ] {
+            let err = JobRequest::from_json(text).unwrap_err();
+            assert!(
+                matches!(err, WireError::Malformed(ref m) if m.contains(needle)),
+                "{text}: {err:?}"
+            );
+        }
+        // Spec errors pass through typed, not stringified.
+        let err = JobRequest::from_json(
+            r#"{ "spec": {"algorithm": "aem-mergesort", "m": 4, "b": 32, "omega": 8},
+                "workload": "zipf", "records": 9 }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::Spec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn status_renders_state_and_prediction() {
+        let r = request();
+        let status = JobStatus {
+            id: 7,
+            state: JobState::Completed,
+            predicted: r.predict(),
+            telemetry: Some(r#"{ "reads": 1 }"#.into()),
+            error: None,
+        };
+        let v = Json::parse(&status.to_json()).expect("parses");
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("state").and_then(Json::as_str), Some("completed"));
+        let p = v.get("predicted").expect("predicted");
+        assert_eq!(
+            p.get("peak_bytes").and_then(Json::as_u64),
+            Some(r.predict().peak_bytes())
+        );
+        assert!(v.get("outcome").is_some());
+    }
+}

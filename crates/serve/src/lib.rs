@@ -1,0 +1,49 @@
+//! Sort-as-a-service: the paper's cost model as an admission controller.
+//!
+//! The SPAA 2015 cost model prices a sort before it runs — reads, ω-weighted
+//! writes, and a *hard* peak-memory bound, all computable from the job
+//! description alone ([`SortSpec::predict`]). This crate turns that into a
+//! multi-tenant job server: [`SortService`] runs submitted
+//! [`JobRequest`]s on a fixed worker pool and admits them against a
+//! predicted-peak-memory budget, so an over-committed machine is refused at
+//! submission time ([`SubmitError::Rejected`]) instead of discovered by
+//! thrashing at run time. [`http::serve`] puts a dependency-free HTTP/1.1
+//! front door on it, speaking the [`asym_core::sort::wire`] JSON formats;
+//! every lifecycle event lands in an append-only `audit.jsonl`.
+//!
+//! ```
+//! use asym_core::sort::{Algorithm, SortSpec};
+//! use asym_model::workload::Workload;
+//! use asym_serve::{JobRequest, ServiceConfig, SortService};
+//!
+//! let dir = std::env::temp_dir().join("asym-serve-doc");
+//! let service = SortService::start(ServiceConfig {
+//!     workers: 2,
+//!     budget_bytes: 1 << 20,
+//!     root_dir: dir,
+//! })
+//! .expect("start");
+//! let id = service
+//!     .submit(JobRequest {
+//!         spec: SortSpec::builder(Algorithm::Mergesort, 64, 8, 16).build().unwrap(),
+//!         workload: Workload::UniformRandom,
+//!         records: 10_000,
+//!         data_seed: 42,
+//!         include_output: false,
+//!     })
+//!     .expect("within budget");
+//! let done = service.wait(id).expect("known job");
+//! assert_eq!(done.state, asym_serve::JobState::Completed);
+//! service.drain();
+//! ```
+//!
+//! [`SortSpec::predict`]: asym_core::sort::SortSpec::predict
+//! [`SortSpec`]: asym_core::sort::SortSpec
+
+pub mod http;
+pub mod job;
+pub mod service;
+
+pub use http::{serve, ServerHandle};
+pub use job::{JobId, JobRequest, JobState, JobStatus};
+pub use service::{ServiceConfig, ServiceStats, SortService, SubmitError};

@@ -1,0 +1,459 @@
+//! The job server proper: a fixed worker pool behind cost-model admission
+//! control.
+//!
+//! Admission is decided **before** a job runs, from
+//! [`JobRequest::predict`] alone: the service tracks the summed
+//! [`CostEstimate::peak_bytes`] of every admitted-but-unfinished job and
+//! rejects any submission that would push the total over
+//! [`ServiceConfig::budget_bytes`] — with a typed
+//! [`SubmitError::Rejected`] carrying both the job's predicted bytes and
+//! the bytes currently available, so clients can resize or retry. Because
+//! the peak-memory prediction is a hard bound (each lane's leases are
+//! capped at `M + slack`; see `tests/predict_bounds.rs`), the invariant is
+//! real: total *actual* peak memory of in-flight jobs never exceeds the
+//! budget either.
+//!
+//! Jobs run on `workers` plain `std::thread` workers pulling from a shared
+//! queue ([`EmMachine`](em_sim::EmMachine) is single-threaded by design, so
+//! each worker builds its machines privately inside the job run). Jobs on
+//! the [`Backend::File`](em_sim::Backend) backend are isolated into a
+//! per-job directory under the service root, whatever `file_dir` the wire
+//! spec carried. Every lifecycle event is appended to `audit.jsonl` in the
+//! service root — one JSON object per line, flushed per event — and
+//! [`SortService::drain`] refuses new work, lets the queue empty, joins the
+//! workers, and flushes the audit stream.
+
+use crate::job::{JobId, JobRequest, JobState, JobStatus};
+use asym_core::sort::{self, CostEstimate, SortSpec, SpecError};
+use asym_model::json::JsonObj;
+use em_sim::Backend;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How to size a [`SortService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Fixed worker-pool size (threads running sorts).
+    pub workers: usize,
+    /// Admission budget: max summed predicted peak bytes in flight.
+    pub budget_bytes: u64,
+    /// Service root: per-job file-backend directories and `audit.jsonl`
+    /// live here. Created if absent.
+    pub root_dir: PathBuf,
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admitting this job would exceed the memory budget. Both sides of
+    /// the comparison are returned so the client can resize or wait.
+    Rejected {
+        /// The job's predicted peak bytes ([`CostEstimate::peak_bytes`]).
+        predicted: u64,
+        /// Budget minus bytes currently in flight.
+        available: u64,
+    },
+    /// The service is draining and takes no new work.
+    Draining,
+}
+
+impl SubmitError {
+    /// Structured error payload (`error` is `"rejected"` or `"draining"`).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        match self {
+            SubmitError::Rejected {
+                predicted,
+                available,
+            } => {
+                o.str("error", "rejected")
+                    .u64("predicted", *predicted)
+                    .u64("available", *available)
+                    .str(
+                        "message",
+                        "predicted peak memory exceeds the available budget",
+                    );
+            }
+            SubmitError::Draining => {
+                o.str("error", "draining")
+                    .str("message", "service is draining; resubmit elsewhere");
+            }
+        }
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected {
+                predicted,
+                available,
+            } => write!(
+                f,
+                "rejected: predicted peak {predicted} B exceeds available {available} B"
+            ),
+            SubmitError::Draining => write!(f, "service is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Point-in-time service counters (see [`SortService::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted over the service lifetime.
+    pub submitted: u64,
+    /// Submissions turned away by admission control.
+    pub rejected: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs whose sort failed.
+    pub failed: u64,
+    /// Jobs admitted but not yet picked up by a worker.
+    pub queued: u64,
+    /// Jobs currently running.
+    pub active: u64,
+    /// Summed predicted peak bytes of admitted-but-unfinished jobs.
+    pub in_flight_bytes: u64,
+    /// High-water mark of `in_flight_bytes` — the number the budget
+    /// invariant is checked against.
+    pub peak_in_flight_bytes: u64,
+    /// The configured admission budget.
+    pub budget_bytes: u64,
+}
+
+impl ServiceStats {
+    /// Render as JSON.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("submitted", self.submitted)
+            .u64("rejected", self.rejected)
+            .u64("completed", self.completed)
+            .u64("failed", self.failed)
+            .u64("queued", self.queued)
+            .u64("active", self.active)
+            .u64("in_flight_bytes", self.in_flight_bytes)
+            .u64("peak_in_flight_bytes", self.peak_in_flight_bytes)
+            .u64("budget_bytes", self.budget_bytes);
+        o.finish()
+    }
+}
+
+struct JobEntry {
+    request: JobRequest,
+    predicted: CostEstimate,
+    state: JobState,
+    telemetry: Option<String>,
+    error: Option<String>,
+}
+
+#[derive(Default)]
+struct State {
+    next_id: JobId,
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobEntry>,
+    in_flight_bytes: u64,
+    peak_in_flight_bytes: u64,
+    active: u64,
+    draining: bool,
+    drained: bool,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    state: Mutex<State>,
+    /// Signals workers: queue non-empty or draining.
+    work_ready: Condvar,
+    /// Signals waiters: some job left the queue/run set.
+    job_done: Condvar,
+    audit: Mutex<std::fs::File>,
+}
+
+/// The in-process sort server. See the [module docs](self) for semantics;
+/// [`crate::http`] puts an HTTP/1.1 front door on it.
+pub struct SortService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SortService {
+    /// Start the worker pool and open the audit log. Fails only on I/O
+    /// (unwritable root directory).
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<SortService> {
+        std::fs::create_dir_all(&cfg.root_dir)?;
+        let audit = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(cfg.root_dir.join("audit.jsonl"))?;
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            audit: Mutex::new(audit),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sort-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(SortService {
+            inner,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Admit or reject one job. Admission holds the job's predicted peak
+    /// bytes against the budget until the job finishes.
+    pub fn submit(&self, request: JobRequest) -> Result<JobId, SubmitError> {
+        let predicted = request.predict();
+        let need = predicted.peak_bytes();
+        let accepted = {
+            let mut st = self.inner.state.lock().expect("service state");
+            if st.draining {
+                return Err(SubmitError::Draining);
+            }
+            let available = self
+                .inner
+                .cfg
+                .budget_bytes
+                .saturating_sub(st.in_flight_bytes);
+            if need > available {
+                st.rejected += 1;
+                drop(st);
+                self.audit_line(|o| {
+                    o.str("event", "rejected")
+                        .str("algorithm", request.spec.algorithm().name())
+                        .u64("records", request.records as u64)
+                        .u64("predicted", need)
+                        .u64("available", available);
+                });
+                return Err(SubmitError::Rejected {
+                    predicted: need,
+                    available,
+                });
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            st.submitted += 1;
+            st.in_flight_bytes += need;
+            st.peak_in_flight_bytes = st.peak_in_flight_bytes.max(st.in_flight_bytes);
+            st.jobs.insert(
+                id,
+                JobEntry {
+                    request: request.clone(),
+                    predicted,
+                    state: JobState::Queued,
+                    telemetry: None,
+                    error: None,
+                },
+            );
+            st.queue.push_back(id);
+            id
+        };
+        self.inner.work_ready.notify_one();
+        self.audit_line(|o| {
+            o.str("event", "accepted")
+                .u64("id", accepted)
+                .str("algorithm", request.spec.algorithm().name())
+                .str("workload", request.workload.name())
+                .u64("records", request.records as u64)
+                .u64("predicted", need);
+        });
+        Ok(accepted)
+    }
+
+    /// A snapshot of one job, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let st = self.inner.state.lock().expect("service state");
+        st.jobs.get(&id).map(|e| JobStatus {
+            id,
+            state: e.state,
+            predicted: e.predicted,
+            telemetry: e.telemetry.clone(),
+            error: e.error.clone(),
+        })
+    }
+
+    /// Block until job `id` completes or fails; returns its final status
+    /// (`None` for an unknown id).
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let mut st = self.inner.state.lock().expect("service state");
+        loop {
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(e) if matches!(e.state, JobState::Completed | JobState::Failed) => {
+                    return Some(JobStatus {
+                        id,
+                        state: e.state,
+                        predicted: e.predicted,
+                        telemetry: e.telemetry.clone(),
+                        error: e.error.clone(),
+                    });
+                }
+                Some(_) => st = self.inner.job_done.wait(st).expect("service state"),
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.inner.state.lock().expect("service state");
+        ServiceStats {
+            submitted: st.submitted,
+            rejected: st.rejected,
+            completed: st.completed,
+            failed: st.failed,
+            queued: st.queue.len() as u64,
+            active: st.active,
+            in_flight_bytes: st.in_flight_bytes,
+            peak_in_flight_bytes: st.peak_in_flight_bytes,
+            budget_bytes: self.inner.cfg.budget_bytes,
+        }
+    }
+
+    /// Graceful shutdown: refuse new submissions, let every admitted job
+    /// finish, join the workers, and flush the audit log. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("service state");
+            st.draining = true;
+            self.inner.work_ready.notify_all();
+            while !st.queue.is_empty() || st.active > 0 {
+                st = self.inner.job_done.wait(st).expect("service state");
+            }
+            if st.drained {
+                return;
+            }
+            st.drained = true;
+        }
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker handles")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.audit_line(|o| {
+            o.str("event", "drained");
+        });
+        let _ = self.inner.audit.lock().expect("audit log").flush();
+    }
+
+    fn audit_line(&self, fill: impl FnOnce(&mut JsonObj)) {
+        let mut o = JsonObj::new();
+        fill(&mut o);
+        let line = o.finish();
+        let mut f = self.inner.audit.lock().expect("audit log");
+        // Audit faults must not take down the data path; events are
+        // best-effort once the file opened.
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+    }
+}
+
+impl Drop for SortService {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let (id, request) = {
+            let mut st = inner.state.lock().expect("service state");
+            let id = loop {
+                if let Some(id) = st.queue.pop_front() {
+                    break id;
+                }
+                if st.draining {
+                    return;
+                }
+                st = inner.work_ready.wait(st).expect("service state");
+            };
+            st.active += 1;
+            let entry = st.jobs.get_mut(&id).expect("queued job exists");
+            entry.state = JobState::Running;
+            (id, entry.request.clone())
+        };
+        let result = run_job(inner, id, &request);
+        let (event, need) = {
+            let mut st = inner.state.lock().expect("service state");
+            let entry = st.jobs.get_mut(&id).expect("running job exists");
+            let need = entry.predicted.peak_bytes();
+            let event = match result {
+                Ok(telemetry) => {
+                    entry.state = JobState::Completed;
+                    entry.telemetry = Some(telemetry);
+                    "completed"
+                }
+                Err(msg) => {
+                    entry.state = JobState::Failed;
+                    entry.error = Some(msg);
+                    "failed"
+                }
+            };
+            st.active -= 1;
+            st.in_flight_bytes -= need;
+            match event {
+                "completed" => st.completed += 1,
+                _ => st.failed += 1,
+            }
+            (event, need)
+        };
+        inner.job_done.notify_all();
+        let mut o = JsonObj::new();
+        o.str("event", event).u64("id", id).u64("released", need);
+        let line = o.finish();
+        let mut f = inner.audit.lock().expect("audit log");
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+    }
+}
+
+/// Run one job: regenerate its input, isolate file-backed storage into a
+/// per-job directory, sort, and render telemetry.
+fn run_job(inner: &Arc<Inner>, id: JobId, request: &JobRequest) -> Result<String, String> {
+    let spec = if request.spec.backend() == Backend::File {
+        let dir = inner.cfg.root_dir.join(format!("job-{id}"));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("job dir: {e}"))?;
+        isolate(&request.spec, dir).map_err(|e| format!("respec: {e}"))?
+    } else {
+        request.spec.clone()
+    };
+    let input = request
+        .workload
+        .generate(request.records, request.data_seed);
+    let outcome = sort::run(&spec, &input).map_err(|e| e.to_string())?;
+    Ok(outcome.to_json(request.include_output))
+}
+
+/// The same job description with its file directory re-pointed — wire specs
+/// may name any `file_dir`, but on the server every file-backed job gets a
+/// private directory under the service root.
+fn isolate(spec: &SortSpec, dir: PathBuf) -> Result<SortSpec, SpecError> {
+    SortSpec::builder(spec.algorithm(), spec.m(), spec.b(), spec.omega())
+        .k(spec.k())
+        .lanes(spec.lanes())
+        .backend(spec.backend())
+        .seed(spec.seed())
+        .slack(spec.slack())
+        .steal_charge(spec.steal_charge())
+        .file_dir(dir)
+        .build()
+}

@@ -1,0 +1,136 @@
+//! The HTTP front door over real loopback sockets: submit, poll, reject,
+//! introspect, shut down — all with a hand-rolled client so the test
+//! exercises actual bytes on the wire, not internal calls.
+
+use asym_core::sort::SortOutcome;
+use asym_model::json::Json;
+use asym_serve::{serve, ServiceConfig, SortService};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+fn fresh_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asym-serve-http-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One HTTP/1.1 exchange; returns (status code, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1
+        .to_string();
+    (code, body)
+}
+
+const SMALL_JOB: &str = r#"{
+    "spec": {"algorithm": "aem-samplesort", "m": 64, "b": 8, "omega": 16, "k": 2},
+    "workload": "zipf", "records": 3000, "data_seed": 11, "include_output": false }"#;
+
+#[test]
+fn full_session_over_loopback() {
+    let root = fresh_root("session");
+    let service = SortService::start(ServiceConfig {
+        workers: 2,
+        budget_bytes: 1 << 20,
+        root_dir: root.clone(),
+    })
+    .expect("start");
+    let mut server = serve(service, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let (code, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(code, 200, "{body}");
+
+    // Accepted submission: 202 with an id and the queued status.
+    let (code, body) = request(addr, "POST", "/jobs", SMALL_JOB);
+    assert_eq!(code, 202, "{body}");
+    let v = Json::parse(&body).expect("parses");
+    let id = v.get("id").and_then(Json::as_u64).expect("id");
+
+    // Poll until done; telemetry must be decodable outcome JSON.
+    let outcome = loop {
+        let (code, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(code, 200, "{body}");
+        let v = Json::parse(&body).expect("parses");
+        match v.get("state").and_then(Json::as_str).expect("state") {
+            "completed" => {
+                let telemetry = v.get("outcome").expect("telemetry present");
+                break SortOutcome::from_json(&telemetry.render()).expect("telemetry decodes");
+            }
+            "failed" => panic!("job failed: {body}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    };
+    assert!(outcome.output.is_empty(), "lean telemetry");
+    assert!(outcome.stats.block_reads > 0);
+
+    // Over-budget submission: typed 429 with both sides of the comparison.
+    let monster = SMALL_JOB.replace("\"m\": 64", "\"m\": 1000000");
+    let (code, body) = request(addr, "POST", "/jobs", &monster);
+    assert_eq!(code, 429, "{body}");
+    let v = Json::parse(&body).expect("parses");
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("rejected"));
+    assert!(v.get("predicted").and_then(Json::as_u64).unwrap() > 1 << 20);
+    assert!(v.get("available").and_then(Json::as_u64).is_some());
+
+    // Malformed and invalid payloads: 400 with structured errors.
+    let (code, body) = request(addr, "POST", "/jobs", "{ nope");
+    assert_eq!(code, 400, "{body}");
+    assert_eq!(
+        Json::parse(&body)
+            .expect("parses")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("malformed")
+    );
+    let invalid = SMALL_JOB.replace("\"b\": 8", "\"b\": 1000");
+    let (code, body) = request(addr, "POST", "/jobs", &invalid);
+    assert_eq!(code, 400, "{body}");
+    let v = Json::parse(&body).expect("parses");
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("spec"));
+    assert_eq!(
+        v.get("kind").and_then(Json::as_str),
+        Some("block_exceeds_memory")
+    );
+
+    let (code, _) = request(addr, "GET", "/jobs/4096", "");
+    assert_eq!(code, 404);
+
+    let (code, body) = request(addr, "GET", "/stats", "");
+    assert_eq!(code, 200);
+    let v = Json::parse(&body).expect("parses");
+    assert_eq!(v.get("submitted").and_then(Json::as_u64), Some(1));
+    assert_eq!(v.get("rejected").and_then(Json::as_u64), Some(1));
+
+    // Graceful shutdown over the wire: drained stats in the response.
+    let (code, body) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200, "{body}");
+    let v = Json::parse(&body).expect("parses");
+    assert_eq!(v.get("drained").and_then(Json::as_bool), Some(true));
+
+    server.shutdown();
+    let audit = std::fs::read_to_string(root.join("audit.jsonl")).expect("audit");
+    assert!(
+        audit.lines().count() >= 4,
+        "accepted+completed+rejected+drained"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

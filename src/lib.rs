@@ -17,6 +17,9 @@
 //!   leased primary memory).
 //! * [`wd_sim`] — the Asymmetric PRAM work-depth cost algebra and
 //!   work-stealing scheduler simulation.
+//! * [`serve`] (`asym-serve`) — sort-as-a-service: a worker-pool job
+//!   server with cost-model admission control and an HTTP/1.1 front door
+//!   speaking the `core::sort::wire` JSON formats.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 
 pub use asym_core as core;
 pub use asym_model as model;
+pub use asym_serve as serve;
 pub use cache_sim;
 pub use em_sim;
 pub use wd_sim;

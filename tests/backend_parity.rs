@@ -109,6 +109,61 @@ fn heapsort_residual_blocks_match_across_backends() {
     );
 }
 
+// The job server runs file-backed jobs concurrently, each in its own
+// `file_dir` — N simultaneous FileStores doing real `std::fs` I/O. Parity
+// must survive that: every concurrent file-backed job must produce the
+// same bytes and the same modeled `EmStats` as a serial in-memory run of
+// the identical spec.
+#[test]
+fn concurrent_file_jobs_match_serial_mem_runs() {
+    const JOBS: usize = 6;
+    let base = std::env::temp_dir().join(format!("asym-parity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    // Serial reference runs, one distinct workload per job slot.
+    let inputs: Vec<Vec<Record>> = (0..JOBS)
+        .map(|i| Workload::ALL[i % Workload::ALL.len()].generate(600, i as u64))
+        .collect();
+    let spec_on = |backend: Backend, dir: Option<std::path::PathBuf>| {
+        let mut builder = SortSpec::builder(Algorithm::Samplesort, 32, 4, 8)
+            .k(2)
+            .seed(0xE5)
+            .backend(backend);
+        if let Some(dir) = dir {
+            builder = builder.file_dir(dir);
+        }
+        builder.build().expect("valid spec")
+    };
+    let serial: Vec<_> = inputs
+        .iter()
+        .map(|input| asym_core::sort::run(&spec_on(Backend::Mem, None), input).expect("serial run"))
+        .collect();
+    // The same jobs, file-backed, all running at once in distinct dirs.
+    let concurrent: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let dir = base.join(format!("job-{i}"));
+                let spec = {
+                    std::fs::create_dir_all(&dir).expect("job dir");
+                    spec_on(Backend::File, Some(dir))
+                };
+                s.spawn(move || asym_core::sort::run(&spec, input).expect("file run"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    for (i, (mem, file)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_eq!(mem.output, file.output, "job {i}: sorted output differs");
+        assert_eq!(mem.stats, file.stats, "job {i}: EmStats differ");
+        assert_sorted_permutation(&inputs[i], &file.output);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn slot_reuse_schedule_matches_across_backends() {
     // Release-heavy cursor traffic: write runs, free them, write again. If

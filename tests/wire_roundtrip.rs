@@ -1,0 +1,87 @@
+//! Property tests for the JSON wire format: arbitrary valid job
+//! descriptions and real sort outcomes must survive
+//! `to_json`/`from_json` unchanged, and damaged documents must come back
+//! as typed [`WireError`]s, never panics.
+
+use asym_core::sort::{run, Algorithm, SortOutcome, SortSpec, WireError};
+use asym_model::workload::Workload;
+use em_sim::Backend;
+use proptest::prelude::*;
+
+/// An arbitrary *valid* spec: geometry drawn from shapes every algorithm
+/// accepts, full-range seeds (the exact-integer case the codec exists for),
+/// lanes forced to 1 on the serial sorts.
+fn arb_spec() -> impl Strategy<Value = SortSpec> {
+    (
+        (0usize..4, 0usize..3, 1u64..64, 1usize..5),
+        (0u64..u64::MAX, 0usize..2, 0u8..2, 1usize..5),
+    )
+        .prop_map(|((alg, shape, omega, k), (seed, backend, steal, lanes))| {
+            let algorithm = Algorithm::ALL[alg];
+            let (m, b) = [(32usize, 4usize), (64, 8), (128, 8)][shape];
+            let backend = [Backend::Mem, Backend::File][backend];
+            let mut builder = SortSpec::builder(algorithm, m, b, omega)
+                .k(k)
+                .seed(seed)
+                .backend(backend);
+            if algorithm.is_parallel() {
+                builder = builder.lanes(lanes).steal_charge(steal == 1);
+            }
+            if backend == Backend::File {
+                builder = builder.file_dir(format!("/tmp/wire-{seed}"));
+            }
+            builder.build().expect("generated specs are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn specs_round_trip_exactly(spec in arb_spec()) {
+        let text = spec.to_json();
+        let decoded = SortSpec::from_json(&text).expect("decode");
+        prop_assert_eq!(&decoded, &spec);
+        // Re-encoding is a fixed point: same document both times.
+        prop_assert_eq!(decoded.to_json(), text);
+    }
+
+    #[test]
+    fn strict_prefixes_of_a_spec_document_fail_typed_not_panicking(
+        spec in arb_spec(),
+        cut in 0usize..1000,
+    ) {
+        let text = spec.to_json();
+        let cut = cut % text.len(); // every strict prefix index
+        let err = SortSpec::from_json(&text[..cut]).expect_err("prefix cannot decode");
+        prop_assert!(matches!(err, WireError::Malformed(_)));
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_telemetry(
+        seeds in (0u64..u64::MAX, 0u64..u64::MAX),
+        n in 64usize..600,
+        alg in 0usize..4,
+        wl in 0usize..3,
+    ) {
+        let algorithm = Algorithm::ALL[alg];
+        let workload = [Workload::UniformRandom, Workload::Zipf, Workload::NearlySorted][wl];
+        let spec = SortSpec::builder(algorithm, 32, 4, 8)
+            .k(2)
+            .lanes(if algorithm.is_parallel() { 3 } else { 1 })
+            .seed(seeds.0)
+            .build()
+            .expect("valid spec");
+        let input = workload.generate(n, seeds.1);
+        let outcome = run(&spec, &input).expect("sort");
+        let decoded = SortOutcome::from_json(&outcome.to_json(true)).expect("decode");
+        prop_assert_eq!(&decoded.output, &outcome.output, "full-range keys must survive");
+        prop_assert_eq!(decoded.stats, outcome.stats);
+        prop_assert_eq!(decoded.report, outcome.report);
+        prop_assert_eq!(&decoded.parallel, &outcome.parallel);
+        // Telemetry-only form drops the payload but keeps the counts.
+        let lean = SortOutcome::from_json(&outcome.to_json(false)).expect("decode");
+        prop_assert!(lean.output.is_empty());
+        prop_assert_eq!(lean.stats, outcome.stats);
+    }
+}

@@ -38,4 +38,28 @@ fn umbrella_reexports_resolve() {
     let c = asym_sort::wd_sim::Cost::default();
     let seq = c.then(asym_sort::wd_sim::Cost::default());
     assert_eq!(seq.depth, 0);
+
+    // asym_sort::serve — the job server's wire types resolve, and the
+    // admission currency (predicted peak bytes) is computable standalone.
+    let spec = asym_sort::core::sort::SortSpec::builder(
+        asym_sort::core::sort::Algorithm::Mergesort,
+        64,
+        8,
+        5,
+    )
+    .build()
+    .expect("valid spec");
+    let request = asym_sort::serve::JobRequest {
+        spec,
+        workload: asym_sort::model::workload::Workload::UniformRandom,
+        records: 1000,
+        data_seed: 1,
+        include_output: false,
+    };
+    assert!(request.predict().peak_bytes() > 0);
+    let wire = request.to_json();
+    assert_eq!(
+        asym_sort::serve::JobRequest::from_json(&wire).expect("round trip"),
+        request
+    );
 }
