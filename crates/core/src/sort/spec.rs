@@ -6,7 +6,9 @@ use crate::em::pq::pq_slack;
 use crate::em::samplesort::samplesort_slack;
 use crate::par::par_samplesort_slack;
 use em_sim::file::FileStore;
-use em_sim::{Backend, BlockStore, EmConfig, EmMachine, ParMachine};
+use em_sim::{
+    Backend, BlockStore, EmConfig, EmMachine, FaultSpec, FaultStore, MemStore, ParMachine,
+};
 use std::path::PathBuf;
 
 /// The four AEM sorting algorithms the unified API fronts.
@@ -116,6 +118,13 @@ pub enum SpecError {
         /// Write-saving factor requested.
         k: usize,
     },
+    /// A fault-injection rate is out of range (permille means 0..=1000).
+    FaultRate {
+        /// Which rate field.
+        field: &'static str,
+        /// The rate requested.
+        permille: u16,
+    },
     /// An `ASYM_BENCH_*` variable held an unparsable value.
     Env {
         /// The variable.
@@ -148,6 +157,9 @@ impl std::fmt::Display for SpecError {
                     f,
                     "geometry overflows: k = {k} times M = {m} records exceeds the ceiling"
                 )
+            }
+            SpecError::FaultRate { field, permille } => {
+                write!(f, "fault rate {field} = {permille} exceeds 1000 permille")
             }
             SpecError::Env {
                 var,
@@ -227,6 +239,7 @@ pub struct SortSpec {
     seed: u64,
     slack: usize,
     steal_charge: bool,
+    fault: Option<FaultSpec>,
 }
 
 impl SortSpec {
@@ -247,6 +260,7 @@ impl SortSpec {
             seed: 0,
             slack: None,
             steal_charge: false,
+            fault: None,
         }
     }
 
@@ -308,6 +322,13 @@ impl SortSpec {
         self.steal_charge
     }
 
+    /// The seeded fault-injection schedule every machine of this job mounts
+    /// (`None`: a well-behaved device). Faults never change modeled costs —
+    /// the machine charges before it touches the store.
+    pub fn fault(&self) -> Option<FaultSpec> {
+        self.fault
+    }
+
     /// The machine configuration this spec resolves to.
     pub fn em_config(&self) -> EmConfig {
         EmConfig::new(self.m, self.b, self.omega).with_slack(self.slack)
@@ -317,21 +338,40 @@ impl SortSpec {
     /// when the file backend cannot create its backing file (e.g. an
     /// unwritable directory) — never panics.
     pub fn machine(&self) -> asym_model::Result<EmMachine> {
+        self.machine_salted(0)
+    }
+
+    /// [`SortSpec::machine`] with a lane index folded into any injected
+    /// fault stream, so each lane of a parallel machine faults
+    /// independently rather than in lockstep.
+    fn machine_salted(&self, lane: u64) -> asym_model::Result<EmMachine> {
         let cfg = self.em_config();
-        match (&self.backend, &self.file_dir) {
-            (Backend::File, Some(dir)) => {
-                let store: Box<dyn BlockStore> = Box::new(FileStore::new_in(dir, cfg.b)?);
-                Ok(EmMachine::with_store(cfg, store))
-            }
-            _ => EmMachine::with_backend(cfg, self.backend),
-        }
+        let Some(fault) = self.fault else {
+            return match (&self.backend, &self.file_dir) {
+                (Backend::File, Some(dir)) => {
+                    let store: Box<dyn BlockStore> = Box::new(FileStore::new_in(dir, cfg.b)?);
+                    Ok(EmMachine::with_store(cfg, store))
+                }
+                _ => EmMachine::with_backend(cfg, self.backend),
+            };
+        };
+        let inner: Box<dyn BlockStore> = match (&self.backend, &self.file_dir) {
+            (Backend::File, Some(dir)) => Box::new(FileStore::new_in(dir, cfg.b)?),
+            (Backend::File, None) => Box::new(FileStore::new(cfg.b)?),
+            _ => Box::new(MemStore::new(cfg.b)),
+        };
+        let fault = if lane == 0 { fault } else { fault.salted(lane) };
+        Ok(EmMachine::with_store(
+            cfg,
+            Box::new(FaultStore::new(inner, fault)),
+        ))
     }
 
     /// Build the lane-sharded machine bank per the spec (same failure mode
     /// as [`SortSpec::machine`], once per lane).
     pub fn par_machine(&self) -> asym_model::Result<ParMachine> {
         let lanes = (0..self.lanes)
-            .map(|_| self.machine())
+            .map(|lane| self.machine_salted(lane as u64))
             .collect::<asym_model::Result<Vec<_>>>()?;
         Ok(ParMachine::from_lanes(lanes))
     }
@@ -351,6 +391,7 @@ pub struct SortSpecBuilder {
     seed: u64,
     slack: Option<usize>,
     steal_charge: bool,
+    fault: Option<FaultSpec>,
 }
 
 impl SortSpecBuilder {
@@ -396,6 +437,14 @@ impl SortSpecBuilder {
     /// stats (default off; parallel algorithms only).
     pub fn steal_charge(mut self, on: bool) -> Self {
         self.steal_charge = on;
+        self
+    }
+
+    /// Mount a seeded fault-injecting store over the chosen backend
+    /// (default `None`: a well-behaved device). Rates beyond 1000 permille
+    /// are a typed [`SpecError::FaultRate`] at build time.
+    pub fn fault(mut self, fault: Option<FaultSpec>) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -464,6 +513,18 @@ impl SortSpecBuilder {
         if fan_in < 2 {
             return Err(SpecError::FanInTooSmall { fan_in });
         }
+        if let Some(f) = &self.fault {
+            for (field, permille) in [
+                ("read_permille", f.read_permille),
+                ("write_permille", f.write_permille),
+                ("short_permille", f.short_permille),
+                ("panic_permille", f.panic_permille),
+            ] {
+                if permille > 1000 {
+                    return Err(SpecError::FaultRate { field, permille });
+                }
+            }
+        }
         let slack = self
             .slack
             .unwrap_or_else(|| self.algorithm.default_slack(self.m, self.b, self.k));
@@ -479,6 +540,7 @@ impl SortSpecBuilder {
             seed: self.seed,
             slack,
             steal_charge: self.steal_charge,
+            fault: self.fault,
         })
     }
 }
@@ -570,6 +632,46 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn fault_rates_validate_and_do_not_change_costs() {
+        let absurd = FaultSpec {
+            seed: 1,
+            read_permille: 1001,
+            ..FaultSpec::new(1)
+        };
+        assert_eq!(
+            SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+                .fault(Some(absurd))
+                .build(),
+            Err(SpecError::FaultRate {
+                field: "read_permille",
+                permille: 1001
+            })
+        );
+        // A mounted fault schedule changes luck, never modeled costs: a
+        // no-op spec must leave the run bit-identical to a bare machine.
+        let input = asym_model::workload::Workload::UniformRandom.generate(400, 9);
+        let plain = crate::sort::run(
+            &SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+                .k(2)
+                .build()
+                .unwrap(),
+            &input,
+        )
+        .expect("plain run");
+        let faulted = crate::sort::run(
+            &SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+                .k(2)
+                .fault(Some(FaultSpec::new(0xDECAF)))
+                .build()
+                .unwrap(),
+            &input,
+        )
+        .expect("no-op fault run");
+        assert_eq!(plain.output, faulted.output);
+        assert_eq!(plain.stats, faulted.stats);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use super::adapters::{ParData, SortOutcome};
 use super::spec::{Algorithm, SortSpec, SpecError};
 use asym_model::json::{self, Json, JsonArr, JsonObj};
 use asym_model::Record;
-use em_sim::{Backend, EmStats};
+use em_sim::{Backend, EmStats, FaultSpec};
 use wd_sim::{Cost, StealStats};
 
 /// Why a wire payload failed to decode.
@@ -69,6 +69,9 @@ impl WireError {
                     }
                     SpecError::GeometryOverflow { m, k } => {
                         o.u64("m", *m as u64).u64("k", *k as u64);
+                    }
+                    SpecError::FaultRate { field, permille } => {
+                        o.str("field", field).u64("permille", *permille as u64);
                     }
                     SpecError::Env {
                         var,
@@ -115,6 +118,7 @@ fn spec_error_kind(e: &SpecError) -> &'static str {
         SpecError::ZeroLanes => "zero_lanes",
         SpecError::LanesOnSerialSort { .. } => "lanes_on_serial_sort",
         SpecError::GeometryOverflow { .. } => "geometry_overflow",
+        SpecError::FaultRate { .. } => "fault_rate",
         SpecError::Env { .. } => "env",
     }
 }
@@ -143,6 +147,15 @@ impl SortSpec {
             .bool("steal_charge", self.steal_charge());
         if let Some(dir) = self.file_dir() {
             o.str("file_dir", &dir.display().to_string());
+        }
+        if let Some(f) = self.fault() {
+            let mut fo = JsonObj::new();
+            fo.u64("seed", f.seed)
+                .u64("read_permille", f.read_permille as u64)
+                .u64("write_permille", f.write_permille as u64)
+                .u64("short_permille", f.short_permille as u64)
+                .u64("panic_permille", f.panic_permille as u64);
+            o.raw("fault", &fo.finish());
         }
         o.finish()
     }
@@ -192,6 +205,21 @@ impl SortSpec {
         }
         if let Some(dir) = json::get_str(obj, "file_dir") {
             builder = builder.file_dir(dir);
+        }
+        if let Some(fv) = json::find(obj, "fault") {
+            let fo = fv
+                .as_obj()
+                .ok_or_else(|| malformed("\"fault\" must be an object"))?;
+            // Rates clamp into u16 here; the builder rejects anything over
+            // 1000 permille with a typed error either way.
+            let rate = |key| json::get_u64(fo, key).unwrap_or(0).min(u16::MAX as u64) as u16;
+            builder = builder.fault(Some(FaultSpec {
+                seed: json::get_u64(fo, "seed").unwrap_or(0),
+                read_permille: rate("read_permille"),
+                write_permille: rate("write_permille"),
+                short_permille: rate("short_permille"),
+                panic_permille: rate("panic_permille"),
+            }));
         }
         builder.build().map_err(WireError::Spec)
     }
@@ -522,6 +550,10 @@ mod tests {
                 m: usize::MAX,
                 k: 2,
             },
+            SpecError::FaultRate {
+                field: "read_permille",
+                permille: 1001,
+            },
             SpecError::Env {
                 var: "ASYM_BENCH_BACKEND",
                 value: "nvme".into(),
@@ -538,7 +570,42 @@ mod tests {
                 .to_owned();
             assert!(kinds.insert(kind), "kind slugs must be distinct");
         }
-        assert_eq!(kinds.len(), 9);
+        assert_eq!(kinds.len(), 10);
+    }
+
+    #[test]
+    fn spec_with_fault_schedule_round_trips() {
+        let spec = SortSpec::builder(Algorithm::Samplesort, 64, 8, 16)
+            .k(2)
+            .fault(Some(FaultSpec {
+                seed: 0xC4A05,
+                read_permille: 100,
+                write_permille: 100,
+                short_permille: 250,
+                panic_permille: 5,
+            }))
+            .build()
+            .expect("valid spec");
+        let decoded = SortSpec::from_json(&spec.to_json()).expect("decode");
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.fault().unwrap().read_permille, 100);
+        // Out-of-range rates arriving over the wire surface the builder's
+        // typed error, not a silent wrap.
+        let err = SortSpec::from_json(
+            r#"{"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8,
+                "fault": {"seed": 1, "write_permille": 90000}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Spec(SpecError::FaultRate {
+                    field: "write_permille",
+                    ..
+                })
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

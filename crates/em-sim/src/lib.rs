@@ -31,7 +31,13 @@
 //! modeled transfers to the worker that performs them and merge the lanes
 //! into work aggregates with [`EmStats::merge`].
 
+//!
+//! [`FaultStore`] wraps any backend with seeded fault injection (transient
+//! `Interrupted` errors, short transfers, simulated crashes) so callers can
+//! chaos-test their error paths without leaving the model.
+
 pub mod disk;
+pub mod fault;
 pub mod file;
 pub mod machine;
 pub mod par;
@@ -39,6 +45,7 @@ pub mod store;
 pub mod vec;
 
 pub use disk::{Disk, MemStore};
+pub use fault::{FaultCounts, FaultPlan, FaultSpec, FaultStore, StoreIoPanic};
 pub use file::FileStore;
 pub use machine::{EmConfig, EmMachine, EmStats, MemLease};
 pub use par::ParMachine;

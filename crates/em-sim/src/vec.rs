@@ -150,9 +150,16 @@ impl<'a> EmReader<'a> {
         }
         if self.buf_pos == self.buf.len() {
             let id = self.blocks[self.next_block];
-            self.machine
-                .read_block_into(id, &mut self.buf)
-                .expect("live block");
+            // This cursor has no `Result` channel, so an injected device
+            // fault unwinds as a typed `StoreIoPanic` a supervisor can
+            // downcast and retry; any other failure here is a real bug.
+            match self.machine.read_block_into(id, &mut self.buf) {
+                Ok(()) => {}
+                Err(e @ asym_model::ModelError::Io(_)) => {
+                    std::panic::panic_any(crate::fault::StoreIoPanic(e))
+                }
+                Err(e) => panic!("live block: {e}"),
+            }
             self.next_block += 1;
             self.buf_pos = 0;
         }

@@ -42,12 +42,8 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
 fn main() {
     let root = std::env::temp_dir().join(format!("asym-serve-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    let service = SortService::start(ServiceConfig {
-        workers: 2,
-        budget_bytes: 64 << 20,
-        root_dir: root.clone(),
-    })
-    .expect("start service");
+    let service =
+        SortService::start(ServiceConfig::new(2, 64 << 20, root.clone())).expect("start service");
     let server = serve(service, "127.0.0.1:0").expect("bind loopback");
     let addr = server.addr();
     println!("serve_smoke: listening on {addr}");
@@ -86,21 +82,21 @@ fn main() {
         "serve_smoke: oversized job rejected ({predicted} B predicted, {available} B available)"
     );
 
-    // Poll the accepted job to completion; its telemetry must decode.
+    // Long-poll the accepted job to completion; its telemetry must decode.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
     let outcome = loop {
-        let (code, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
-        assert_eq!(code, 200, "status: {body}");
+        let (code, body) = request(addr, "GET", &format!("/jobs/{id}/wait?timeout_ms=2000"), "");
         let v = Json::parse(&body).expect("status parses");
         match v.get("state").and_then(Json::as_str).expect("state") {
             "completed" => {
+                assert_eq!(code, 200, "wait: {body}");
                 let telemetry = v.get("outcome").expect("outcome present").render();
                 break SortOutcome::from_json(&telemetry).expect("telemetry decodes");
             }
             "failed" => panic!("job failed: {body}"),
             _ => {
+                assert_eq!(code, 408, "non-terminal wait must time out: {body}");
                 assert!(std::time::Instant::now() < deadline, "job did not finish");
-                std::thread::sleep(std::time::Duration::from_millis(20));
             }
         }
     };
@@ -135,11 +131,19 @@ fn main() {
 
     let audit = std::fs::read_to_string(root.join("audit.jsonl")).expect("audit log");
     for line in audit.lines() {
-        Json::parse(line).expect("audit line parses");
+        asym_serve::AuditEvent::from_json(line).expect("audit line decodes");
     }
     assert!(
         audit.lines().count() >= 4,
         "audit must hold the whole session"
+    );
+    let replayed = asym_serve::replay(&audit).expect("audit replays");
+    assert!(!replayed.torn_tail, "clean shutdown leaves no torn tail");
+    assert_eq!(replayed.jobs.len(), 1, "one accepted job in the log");
+    assert_eq!(replayed.rejected, 1, "one rejection in the log");
+    assert!(
+        replayed.pending().next().is_none(),
+        "nothing left pending after a drain"
     );
     let _ = std::fs::remove_dir_all(&root);
     println!("serve_smoke: ok");

@@ -2,30 +2,40 @@
 //!
 //! Deliberately minimal — the same dependency-free discipline as the JSON
 //! codec. One request per connection (`Connection: close`), bodies framed
-//! by `Content-Length`, every response `application/json`. Routes:
+//! by `Content-Length` and capped ([`MAX_BODY`] → typed `413` *before* any
+//! allocation), every response `application/json`. Routes:
 //!
-//! | Method | Path          | Meaning                                       |
-//! |--------|---------------|-----------------------------------------------|
-//! | GET    | `/healthz`    | liveness → `{"ok": true}`                     |
-//! | POST   | `/jobs`       | submit a [`JobRequest`] → `202` + id, `429` on admission rejection, `400` on malformed/invalid payloads |
-//! | GET    | `/jobs/<id>`  | job status/telemetry → `200`, `404` unknown   |
-//! | GET    | `/stats`      | service counters                              |
-//! | POST   | `/shutdown`   | graceful drain, respond, stop accepting       |
+//! | Method | Path               | Meaning                                  |
+//! |--------|--------------------|------------------------------------------|
+//! | GET    | `/healthz`         | liveness → `{"ok": true}`                |
+//! | POST   | `/jobs`            | submit a [`JobRequest`] → `202` + id, `429` budget rejection, `422` unmeetable deadline, `400` malformed |
+//! | GET    | `/jobs/<id>`       | job status/telemetry → `200`, `404` unknown, `504` expired |
+//! | GET    | `/jobs/<id>/wait`  | long-poll until terminal → `200` terminal, `408` + current status on server-side timeout (`?timeout_ms=`, capped), `404`, `504` expired |
+//! | GET    | `/stats`           | service counters                         |
+//! | POST   | `/shutdown`        | graceful drain, respond, stop accepting  |
 //!
 //! The accept loop runs on its own thread; [`ServerHandle::shutdown`]
 //! triggers the same drain as `POST /shutdown`, nudging the blocking
 //! `accept` with a loopback self-connection.
 
-use crate::job::JobRequest;
-use crate::service::SortService;
+use crate::job::{JobRequest, JobState};
+use crate::service::{SortService, SubmitError};
 use asym_model::json::JsonObj;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Largest accepted request body; bigger submissions get `400`.
-const MAX_BODY: usize = 1 << 20;
+/// Largest accepted request body; bigger submissions get a typed `413`
+/// without the body ever being read.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// `/jobs/<id>/wait` with no `timeout_ms` waits this long.
+const DEFAULT_WAIT_MS: u64 = 2_000;
+
+/// Hard cap on `timeout_ms` — a long-poll cannot pin a connection forever.
+const MAX_WAIT_MS: u64 = 10_000;
 
 /// A running HTTP server wrapping a [`SortService`].
 pub struct ServerHandle {
@@ -41,13 +51,15 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The service behind the listener (for in-process inspection).
+    /// The service behind the listener (for in-process inspection —
+    /// recovery and chaos tests call [`SortService::kill`] through this).
     pub fn service(&self) -> &SortService {
         &self.service
     }
 
     /// Drain the service and stop the accept loop (idempotent; also runs
-    /// on drop).
+    /// on drop). A no-op drain after [`SortService::kill`] — the killed
+    /// service stays killed.
     pub fn shutdown(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
             // Nudge the blocking accept() so the loop observes the flag.
@@ -95,7 +107,8 @@ fn accept_loop(listener: &TcpListener, service: &SortService, stop: &AtomicBool)
         let Ok(stream) = conn else { continue };
         // One request per connection, handled inline: submissions are
         // admission decisions (microseconds), the sorts themselves run on
-        // the worker pool.
+        // the worker pool. The one blocking route, /wait, is bounded by
+        // MAX_WAIT_MS.
         if let HandleResult::Shutdown = handle(stream, service) {
             stop.store(true, Ordering::SeqCst);
             return;
@@ -110,17 +123,33 @@ enum HandleResult {
 
 fn handle(stream: TcpStream, service: &SortService) -> HandleResult {
     let mut reader = BufReader::new(stream);
-    let Some((method, path, body)) = read_request(&mut reader) else {
-        respond(
-            reader.into_inner(),
-            400,
-            "Bad Request",
-            r#"{"error": "malformed", "message": "unreadable HTTP request"}"#,
-        );
-        return HandleResult::KeepServing;
+    let (method, path, body) = match read_request(&mut reader) {
+        Ok(req) => req,
+        Err(ReadError::TooLarge { length }) => {
+            let mut o = JsonObj::new();
+            o.str("error", "too_large")
+                .u64("length", length as u64)
+                .u64("max", MAX_BODY as u64)
+                .str("message", "request body exceeds the accepted maximum");
+            respond(reader.into_inner(), 413, "Payload Too Large", &o.finish());
+            return HandleResult::KeepServing;
+        }
+        Err(ReadError::Malformed) => {
+            respond(
+                reader.into_inner(),
+                400,
+                "Bad Request",
+                r#"{"error": "malformed", "message": "unreadable HTTP request"}"#,
+            );
+            return HandleResult::KeepServing;
+        }
     };
     let stream = reader.into_inner();
-    match (method.as_str(), path.as_str()) {
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path.as_str(), ""),
+    };
+    match (method.as_str(), route) {
         ("GET", "/healthz") => respond(stream, 200, "OK", r#"{"ok": true}"#),
         ("GET", "/stats") => respond(stream, 200, "OK", &service.stats().to_json()),
         ("POST", "/jobs") => match JobRequest::from_json(&body) {
@@ -132,18 +161,44 @@ fn handle(stream: TcpStream, service: &SortService) -> HandleResult {
                     o.u64("id", id).raw("status", &status.to_json());
                     respond(stream, 202, "Accepted", &o.finish());
                 }
-                Err(e @ crate::service::SubmitError::Rejected { .. }) => {
+                Err(e @ SubmitError::Rejected { .. }) => {
                     respond(stream, 429, "Too Many Requests", &e.to_json());
+                }
+                Err(e @ SubmitError::DeadlineUnmeetable { .. }) => {
+                    respond(stream, 422, "Unprocessable Entity", &e.to_json());
                 }
                 Err(e) => respond(stream, 503, "Service Unavailable", &e.to_json()),
             },
         },
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/wait") => {
+            let id = p["/jobs/".len()..p.len() - "/wait".len()]
+                .parse::<u64>()
+                .ok();
+            let timeout_ms = query_u64(query, "timeout_ms")
+                .unwrap_or(DEFAULT_WAIT_MS)
+                .min(MAX_WAIT_MS);
+            match id.and_then(|id| service.wait_timeout(id, Duration::from_millis(timeout_ms))) {
+                None => respond(stream, 404, "Not Found", r#"{"error": "unknown job"}"#),
+                Some(status) if status.state == JobState::Expired => {
+                    respond(stream, 504, "Gateway Timeout", &status.to_json());
+                }
+                Some(status) if status.state.is_terminal() => {
+                    respond(stream, 200, "OK", &status.to_json());
+                }
+                // Server-side timeout: the job is alive but not done; the
+                // current snapshot rides along so pollers learn something.
+                Some(status) => respond(stream, 408, "Request Timeout", &status.to_json()),
+            }
+        }
         ("GET", p) if p.starts_with("/jobs/") => {
             match p["/jobs/".len()..]
                 .parse::<u64>()
                 .ok()
                 .and_then(|id| service.status(id))
             {
+                Some(status) if status.state == JobState::Expired => {
+                    respond(stream, 504, "Gateway Timeout", &status.to_json());
+                }
                 Some(status) => respond(stream, 200, "OK", &status.to_json()),
                 None => respond(stream, 404, "Not Found", r#"{"error": "unknown job"}"#),
             }
@@ -161,19 +216,29 @@ fn handle(stream: TcpStream, service: &SortService) -> HandleResult {
     HandleResult::KeepServing
 }
 
+/// `read_request` failure classification: a `413` is not a `400`.
+enum ReadError {
+    /// Unframeable request (bad request line, unparsable headers, short
+    /// body, non-UTF-8 payload).
+    Malformed,
+    /// `Content-Length` admits to more than [`MAX_BODY`]; the body was
+    /// never read, let alone allocated.
+    TooLarge { length: usize },
+}
+
 /// Parse one request: the request line, headers (only `Content-Length`
-/// matters), then exactly that many body bytes. `None` on anything
-/// unframeable.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Option<(String, String, String)> {
+/// matters), then exactly that many body bytes.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), ReadError> {
+    let malformed = |_| ReadError::Malformed;
     let mut line = String::new();
-    reader.read_line(&mut line).ok()?;
+    reader.read_line(&mut line).map_err(malformed)?;
     let mut parts = line.split_whitespace();
-    let method = parts.next()?.to_string();
-    let path = parts.next()?.to_string();
+    let method = parts.next().ok_or(ReadError::Malformed)?.to_string();
+    let path = parts.next().ok_or(ReadError::Malformed)?.to_string();
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header).ok()?;
+        reader.read_line(&mut header).map_err(malformed)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -183,15 +248,31 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Option<(String, String, St
             .strip_prefix("content-length:")
             .map(str::trim)
         {
-            content_length = v.parse().ok()?;
+            content_length = v.parse().map_err(|_| ReadError::Malformed)?;
         }
     }
     if content_length > MAX_BODY {
-        return None;
+        return Err(ReadError::TooLarge {
+            length: content_length,
+        });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).ok()?;
-    Some((method, path, String::from_utf8(body).ok()?))
+    reader.read_exact(&mut body).map_err(malformed)?;
+    Ok((
+        method,
+        path,
+        String::from_utf8(body).map_err(|_| ReadError::Malformed)?,
+    ))
+}
+
+/// Pull one numeric query parameter out of `a=1&b=2` (missing or
+/// unparsable → `None`).
+fn query_u64(query: &str, key: &str) -> Option<u64> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
 }
 
 fn respond(mut stream: TcpStream, code: u16, reason: &str, body: &str) {

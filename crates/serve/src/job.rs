@@ -30,6 +30,11 @@ pub struct JobRequest {
     /// Include the sorted records in the completion telemetry (off for
     /// stats-only submissions).
     pub include_output: bool,
+    /// Time budget in milliseconds. Checked against the modeled ETA at
+    /// admission (when the service has a configured rate) and enforced by
+    /// queue expiry: a job still queued when the budget lapses becomes
+    /// [`JobState::Expired`] without running. `None`: no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobRequest {
@@ -46,6 +51,9 @@ impl JobRequest {
             .u64("records", self.records as u64)
             .u64("data_seed", self.data_seed)
             .bool("include_output", self.include_output);
+        if let Some(d) = self.deadline_ms {
+            o.u64("deadline_ms", d);
+        }
         o.finish()
     }
 
@@ -74,6 +82,7 @@ impl JobRequest {
             records,
             data_seed: json::get_u64(obj, "data_seed").unwrap_or(0),
             include_output: json::get_bool(obj, "include_output").unwrap_or(false),
+            deadline_ms: json::get_u64(obj, "deadline_ms"),
         })
     }
 }
@@ -87,8 +96,11 @@ pub enum JobState {
     Running,
     /// Finished; telemetry is available.
     Completed,
-    /// The sort itself failed (e.g. file backend I/O error).
+    /// The sort itself failed (e.g. file backend I/O error), terminally —
+    /// retryable failures re-queue until the attempt budget is spent.
     Failed,
+    /// The deadline lapsed while the job was still queued; it never ran.
+    Expired,
 }
 
 impl JobState {
@@ -99,7 +111,54 @@ impl JobState {
             JobState::Running => "running",
             JobState::Completed => "completed",
             JobState::Failed => "failed",
+            JobState::Expired => "expired",
         }
+    }
+
+    /// Whether the state is final: exactly one of completed / failed /
+    /// expired, never left once entered.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Expired
+        )
+    }
+}
+
+/// Why a job failed terminally — the classification retry logic and
+/// clients dispatch on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A transient I/O fault ([`ModelError::Io`](asym_model::ModelError)):
+    /// the retryable class.
+    Io,
+    /// The sorter panicked; the worker caught it (`catch_unwind`). Fatal —
+    /// a panic is a bug or an injected crash, not weather.
+    Panic,
+    /// Any other model or validation error. Fatal.
+    Fatal,
+}
+
+impl FailureKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Io => "io",
+            FailureKind::Panic => "panic",
+            FailureKind::Fatal => "fatal",
+        }
+    }
+
+    /// Parse a stable name back (audit replay uses this).
+    pub fn parse(name: &str) -> Option<FailureKind> {
+        [FailureKind::Io, FailureKind::Panic, FailureKind::Fatal]
+            .into_iter()
+            .find(|k| k.name() == name)
+    }
+
+    /// Whether a failure of this kind earns another attempt.
+    pub fn retryable(self) -> bool {
+        matches!(self, FailureKind::Io)
     }
 }
 
@@ -113,12 +172,16 @@ pub struct JobStatus {
     pub state: JobState,
     /// The admission-time prediction.
     pub predicted: CostEstimate,
+    /// How many run attempts the job has consumed so far.
+    pub attempts: u32,
     /// Completion telemetry ([`SortOutcome::to_json`]) once `Completed`.
     ///
     /// [`SortOutcome::to_json`]: asym_core::sort::SortOutcome::to_json
     pub telemetry: Option<String>,
-    /// The failure message once `Failed`.
+    /// The most recent failure message (`Failed`, or a retried attempt).
     pub error: Option<String>,
+    /// The failure classification once `Failed`.
+    pub failure: Option<FailureKind>,
 }
 
 impl JobStatus {
@@ -126,7 +189,9 @@ impl JobStatus {
     /// state — the nested outcome telemetry or the error message.
     pub fn to_json(&self) -> String {
         let mut o = JsonObj::new();
-        o.u64("id", self.id).str("state", self.state.name());
+        o.u64("id", self.id)
+            .str("state", self.state.name())
+            .u64("attempts", self.attempts as u64);
         let mut p = JsonObj::new();
         p.u64("reads", self.predicted.reads)
             .u64("writes", self.predicted.writes)
@@ -139,6 +204,9 @@ impl JobStatus {
         }
         if let Some(e) = &self.error {
             o.str("error", e);
+        }
+        if let Some(k) = self.failure {
+            o.str("failure_kind", k.name());
         }
         o.finish()
     }
@@ -161,6 +229,7 @@ mod tests {
             records: 5_000,
             data_seed: 0xDEAD_BEEF_DEAD_BEEF,
             include_output: true,
+            deadline_ms: Some(2_500),
         }
     }
 
@@ -178,6 +247,7 @@ mod tests {
         let r = JobRequest::from_json(text).expect("decode");
         assert_eq!(r.data_seed, 0);
         assert!(!r.include_output);
+        assert_eq!(r.deadline_ms, None, "no deadline unless asked for");
     }
 
     #[test]
@@ -218,17 +288,46 @@ mod tests {
             id: 7,
             state: JobState::Completed,
             predicted: r.predict(),
+            attempts: 2,
             telemetry: Some(r#"{ "reads": 1 }"#.into()),
             error: None,
+            failure: None,
         };
         let v = Json::parse(&status.to_json()).expect("parses");
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
         assert_eq!(v.get("state").and_then(Json::as_str), Some("completed"));
+        assert_eq!(v.get("attempts").and_then(Json::as_u64), Some(2));
         let p = v.get("predicted").expect("predicted");
         assert_eq!(
             p.get("peak_bytes").and_then(Json::as_u64),
             Some(r.predict().peak_bytes())
         );
         assert!(v.get("outcome").is_some());
+    }
+
+    #[test]
+    fn states_and_failure_kinds_have_stable_names() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Expired,
+        ] {
+            assert_eq!(
+                s.is_terminal(),
+                matches!(
+                    s,
+                    JobState::Completed | JobState::Failed | JobState::Expired
+                )
+            );
+        }
+        for k in [FailureKind::Io, FailureKind::Panic, FailureKind::Fatal] {
+            assert_eq!(FailureKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FailureKind::parse("luck"), None);
+        assert!(FailureKind::Io.retryable());
+        assert!(!FailureKind::Panic.retryable());
+        assert!(!FailureKind::Fatal.retryable());
     }
 }

@@ -8,8 +8,16 @@
 //! predicted-peak-memory budget, so an over-committed machine is refused at
 //! submission time ([`SubmitError::Rejected`]) instead of discovered by
 //! thrashing at run time. [`http::serve`] puts a dependency-free HTTP/1.1
-//! front door on it, speaking the [`asym_core::sort::wire`] JSON formats;
-//! every lifecycle event lands in an append-only `audit.jsonl`.
+//! front door on it, speaking the [`asym_core::sort::wire`] JSON formats.
+//!
+//! The service is built to survive its process: `audit.jsonl` is a
+//! versioned write-ahead log ([`audit`]), [`SortService::recover`] replays
+//! it after a crash (re-queueing unfinished jobs, restoring finished
+//! ones), transient I/O failures retry with bounded exponential backoff,
+//! panicking sorters are caught per-attempt, and deadlines are enforced
+//! both at admission (modeled ETA) and by queue expiry. The
+//! `em_sim::FaultStore` fault injector plugs into job specs so all of it
+//! is testable under a seeded storm (`tests/chaos.rs`).
 //!
 //! ```
 //! use asym_core::sort::{Algorithm, SortSpec};
@@ -17,12 +25,7 @@
 //! use asym_serve::{JobRequest, ServiceConfig, SortService};
 //!
 //! let dir = std::env::temp_dir().join("asym-serve-doc");
-//! let service = SortService::start(ServiceConfig {
-//!     workers: 2,
-//!     budget_bytes: 1 << 20,
-//!     root_dir: dir,
-//! })
-//! .expect("start");
+//! let service = SortService::start(ServiceConfig::new(2, 1 << 20, dir)).expect("start");
 //! let id = service
 //!     .submit(JobRequest {
 //!         spec: SortSpec::builder(Algorithm::Mergesort, 64, 8, 16).build().unwrap(),
@@ -30,6 +33,7 @@
 //!         records: 10_000,
 //!         data_seed: 42,
 //!         include_output: false,
+//!         deadline_ms: None,
 //!     })
 //!     .expect("within budget");
 //! let done = service.wait(id).expect("known job");
@@ -40,10 +44,14 @@
 //! [`SortSpec::predict`]: asym_core::sort::SortSpec::predict
 //! [`SortSpec`]: asym_core::sort::SortSpec
 
+pub mod audit;
 pub mod http;
 pub mod job;
 pub mod service;
 
+pub use audit::{replay, AuditError, AuditEvent, Replay, ReplayJob, ReplayOutcome, SCHEMA_VERSION};
 pub use http::{serve, ServerHandle};
-pub use job::{JobId, JobRequest, JobState, JobStatus};
-pub use service::{ServiceConfig, ServiceStats, SortService, SubmitError};
+pub use job::{FailureKind, JobId, JobRequest, JobState, JobStatus};
+pub use service::{
+    RecoverError, RecoveryReport, ServiceConfig, ServiceStats, SortService, SubmitError,
+};

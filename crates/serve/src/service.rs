@@ -1,5 +1,5 @@
 //! The job server proper: a fixed worker pool behind cost-model admission
-//! control.
+//! control, hardened for crashes.
 //!
 //! Admission is decided **before** a job runs, from
 //! [`JobRequest::predict`] alone: the service tracks the summed
@@ -11,26 +11,43 @@
 //! the peak-memory prediction is a hard bound (each lane's leases are
 //! capped at `M + slack`; see `tests/predict_bounds.rs`), the invariant is
 //! real: total *actual* peak memory of in-flight jobs never exceeds the
-//! budget either.
+//! budget either. When the service has a configured I/O rate
+//! ([`ServiceConfig::io_per_ms`]), the same prediction also prices *time*:
+//! a request whose modeled ETA already exceeds its `deadline_ms` is
+//! refused up front ([`SubmitError::DeadlineUnmeetable`]).
 //!
-//! Jobs run on `workers` plain `std::thread` workers pulling from a shared
-//! queue ([`EmMachine`](em_sim::EmMachine) is single-threaded by design, so
-//! each worker builds its machines privately inside the job run). Jobs on
-//! the [`Backend::File`](em_sim::Backend) backend are isolated into a
-//! per-job directory under the service root, whatever `file_dir` the wire
-//! spec carried. Every lifecycle event is appended to `audit.jsonl` in the
-//! service root — one JSON object per line, flushed per event — and
-//! [`SortService::drain`] refuses new work, lets the queue empty, joins the
-//! workers, and flushes the audit stream.
+//! `audit.jsonl` in the service root is a **write-ahead log**, not a
+//! diary: the `accepted` event (carrying the whole request) is flushed
+//! *before* the job becomes runnable, and every later transition appends
+//! its own versioned [`AuditEvent`]. That
+//! ordering is what makes [`SortService::recover`] sound — any job the
+//! service ever owned is in the log, so replaying the log re-queues
+//! exactly the accepted-but-unfinished jobs, restores terminal results,
+//! and resumes the id counter. Replay tolerates a torn final line (the
+//! crash tore it mid-write) and is idempotent over prefixes.
+//!
+//! Failures are classified ([`FailureKind`]): `ModelError::Io` is
+//! transient weather and earns bounded-exponential-backoff retries up to
+//! [`ServiceConfig::max_attempts`]; panics (caught per-attempt with
+//! `catch_unwind`, so a crashing sorter cannot wedge the pool) and
+//! validation errors are fatal. Jobs whose deadline lapses while queued
+//! expire ([`JobState::Expired`]) without running. [`SortService::drain`]
+//! is the graceful shutdown; [`SortService::kill`] is the simulated crash
+//! the recovery tests lean on — it drops queued and running work on the
+//! floor exactly like a power cut.
 
-use crate::job::{JobId, JobRequest, JobState, JobStatus};
+use crate::audit::{replay, AuditError, AuditEvent, ReplayOutcome};
+use crate::job::{FailureKind, JobId, JobRequest, JobState, JobStatus};
 use asym_core::sort::{self, CostEstimate, SortSpec, SpecError};
 use asym_model::json::JsonObj;
-use em_sim::Backend;
+use asym_model::ModelError;
+use em_sim::{Backend, FaultSpec};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How to size a [`SortService`].
 #[derive(Clone, Debug)]
@@ -42,6 +59,34 @@ pub struct ServiceConfig {
     /// Service root: per-job file-backend directories and `audit.jsonl`
     /// live here. Created if absent.
     pub root_dir: PathBuf,
+    /// Attempt budget per job: a retryable failure re-queues the job until
+    /// this many attempts are spent, then it fails terminally. Minimum 1.
+    pub max_attempts: u32,
+    /// First retry backoff; attempt `n` waits `base << (n-1)`, capped.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap_ms: u64,
+    /// Modeled I/O units the service retires per millisecond — the
+    /// exchange rate that turns [`CostEstimate::io_cost`] into an ETA for
+    /// deadline admission. `0` (the default) disables the ETA check;
+    /// queue expiry still applies.
+    pub io_per_ms: u64,
+}
+
+impl ServiceConfig {
+    /// A config with the fault-tolerance knobs at their defaults
+    /// (3 attempts, 10 ms base / 1 s cap backoff, no ETA check).
+    pub fn new(workers: usize, budget_bytes: u64, root_dir: impl Into<PathBuf>) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            budget_bytes,
+            root_dir: root_dir.into(),
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1_000,
+            io_per_ms: 0,
+        }
+    }
 }
 
 /// Why a submission was not admitted.
@@ -55,12 +100,22 @@ pub enum SubmitError {
         /// Budget minus bytes currently in flight.
         available: u64,
     },
+    /// The modeled ETA on an otherwise idle service already exceeds the
+    /// request's deadline; running it would only waste the queue's time.
+    DeadlineUnmeetable {
+        /// Modeled milliseconds to run the job ([`CostEstimate::io_cost`]
+        /// over [`ServiceConfig::io_per_ms`]).
+        eta_ms: u64,
+        /// What the request asked for.
+        deadline_ms: u64,
+    },
     /// The service is draining and takes no new work.
     Draining,
 }
 
 impl SubmitError {
-    /// Structured error payload (`error` is `"rejected"` or `"draining"`).
+    /// Structured error payload (`error` is `"rejected"`,
+    /// `"deadline_unmeetable"`, or `"draining"`).
     pub fn to_json(&self) -> String {
         let mut o = JsonObj::new();
         match self {
@@ -75,6 +130,15 @@ impl SubmitError {
                         "message",
                         "predicted peak memory exceeds the available budget",
                     );
+            }
+            SubmitError::DeadlineUnmeetable {
+                eta_ms,
+                deadline_ms,
+            } => {
+                o.str("error", "deadline_unmeetable")
+                    .u64("eta_ms", *eta_ms)
+                    .u64("deadline_ms", *deadline_ms)
+                    .str("message", "modeled ETA exceeds the requested deadline");
             }
             SubmitError::Draining => {
                 o.str("error", "draining")
@@ -95,6 +159,13 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "rejected: predicted peak {predicted} B exceeds available {available} B"
             ),
+            SubmitError::DeadlineUnmeetable {
+                eta_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "deadline unmeetable: modeled ETA {eta_ms} ms exceeds deadline {deadline_ms} ms"
+            ),
             SubmitError::Draining => write!(f, "service is draining"),
         }
     }
@@ -102,19 +173,64 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why [`SortService::recover`] could not bring the service up.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The audit log (or service root) could not be read or opened.
+    Io(std::io::Error),
+    /// The audit log is corrupt or from an unknown schema version.
+    Audit(AuditError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery I/O: {e}"),
+            RecoverError::Audit(e) => write!(f, "recovery replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> RecoverError {
+        RecoverError::Io(e)
+    }
+}
+
+/// What [`SortService::recover`] found in the log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Jobs that were accepted but not terminal: re-queued to run again.
+    pub requeued: u64,
+    /// Terminal jobs restored with their recorded outcomes.
+    pub restored: u64,
+    /// Where the id counter resumed.
+    pub next_id: JobId,
+    /// The log's final line was torn by the crash (tolerated).
+    pub torn_tail: bool,
+}
+
 /// Point-in-time service counters (see [`SortService::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Jobs admitted over the service lifetime.
     pub submitted: u64,
-    /// Submissions turned away by admission control.
+    /// Submissions turned away by admission control (budget or deadline).
     pub rejected: u64,
     /// Jobs finished successfully.
     pub completed: u64,
-    /// Jobs whose sort failed.
+    /// Jobs that failed terminally.
     pub failed: u64,
+    /// Jobs whose deadline lapsed while queued.
+    pub expired: u64,
+    /// Retryable failures that re-queued a job.
+    pub retried: u64,
     /// Jobs admitted but not yet picked up by a worker.
     pub queued: u64,
+    /// Jobs parked in retry backoff.
+    pub delayed: u64,
     /// Jobs currently running.
     pub active: u64,
     /// Summed predicted peak bytes of admitted-but-unfinished jobs.
@@ -134,7 +250,10 @@ impl ServiceStats {
             .u64("rejected", self.rejected)
             .u64("completed", self.completed)
             .u64("failed", self.failed)
+            .u64("expired", self.expired)
+            .u64("retried", self.retried)
             .u64("queued", self.queued)
+            .u64("delayed", self.delayed)
             .u64("active", self.active)
             .u64("in_flight_bytes", self.in_flight_bytes)
             .u64("peak_in_flight_bytes", self.peak_in_flight_bytes)
@@ -147,34 +266,67 @@ struct JobEntry {
     request: JobRequest,
     predicted: CostEstimate,
     state: JobState,
+    attempts: u32,
+    /// Queue-expiry deadline, armed at admission from `deadline_ms`.
+    expires_at: Option<Instant>,
     telemetry: Option<String>,
     error: Option<String>,
+    failure: Option<FailureKind>,
 }
 
 #[derive(Default)]
 struct State {
     next_id: JobId,
     queue: VecDeque<JobId>,
+    /// Retry parking lot: jobs waiting out their backoff, with due times.
+    delayed: Vec<(Instant, JobId)>,
     jobs: HashMap<JobId, JobEntry>,
     in_flight_bytes: u64,
     peak_in_flight_bytes: u64,
     active: u64,
     draining: bool,
     drained: bool,
+    /// Simulated crash: workers bail, drain no-ops, audit is dead.
+    killed: bool,
     submitted: u64,
     rejected: u64,
     completed: u64,
     failed: u64,
+    expired: u64,
+    retried: u64,
+}
+
+/// Where audit events go. `Dead` models the post-crash world: writes
+/// vanish, exactly as they would have after the real process died.
+enum AuditSink {
+    File(std::fs::File),
+    Dead,
 }
 
 struct Inner {
     cfg: ServiceConfig,
     state: Mutex<State>,
-    /// Signals workers: queue non-empty or draining.
+    /// Signals workers: queue non-empty, a delayed job may be due, or
+    /// draining.
     work_ready: Condvar,
-    /// Signals waiters: some job left the queue/run set.
+    /// Signals waiters: some job reached a terminal state.
     job_done: Condvar,
-    audit: Mutex<std::fs::File>,
+    audit: Mutex<AuditSink>,
+}
+
+impl Inner {
+    /// Append one event, flushed — the WAL write. Lock order is always
+    /// state → audit (or audit alone); never take state while holding
+    /// audit.
+    fn audit_event(&self, ev: &AuditEvent) {
+        let mut sink = self.audit.lock().expect("audit log");
+        if let AuditSink::File(f) = &mut *sink {
+            // Audit faults must not take down the data path; events are
+            // best-effort once the file opened.
+            let _ = writeln!(f, "{}", ev.to_json());
+            let _ = f.flush();
+        }
+    }
 }
 
 /// The in-process sort server. See the [module docs](self) for semantics;
@@ -185,9 +337,111 @@ pub struct SortService {
 }
 
 impl SortService {
-    /// Start the worker pool and open the audit log. Fails only on I/O
-    /// (unwritable root directory).
+    /// Start fresh: empty state, append to (or create) the audit log.
+    /// Fails only on I/O (unwritable root directory).
     pub fn start(cfg: ServiceConfig) -> std::io::Result<SortService> {
+        SortService::boot(cfg, State::default(), None)
+    }
+
+    /// Start by replaying `audit.jsonl` in the config's root: terminal
+    /// jobs come back with their recorded outcomes, accepted-but-
+    /// unfinished jobs re-queue (in id order, with a fresh deadline
+    /// window), and the id counter resumes past every id ever issued.
+    /// Replay is idempotent over any log prefix — recovering from a crash
+    /// *during recovery* replays the same prefix plus whatever the first
+    /// recovery appended, and lands in the same state. A missing log is an
+    /// empty service, not an error.
+    pub fn recover(cfg: ServiceConfig) -> Result<(SortService, RecoveryReport), RecoverError> {
+        let text = match std::fs::read_to_string(cfg.root_dir.join("audit.jsonl")) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(RecoverError::Io(e)),
+        };
+        let rep = replay(&text).map_err(RecoverError::Audit)?;
+        if rep.torn_tail {
+            // Truncate the torn final line before reopening for append, or
+            // the next event would glue onto the fragment and corrupt an
+            // *interior* line. Dropping an unparsable suffix is idempotent:
+            // a crash during this rewrite just leaves a shorter prefix.
+            let lines: Vec<&str> = text.lines().collect();
+            let mut keep = lines[..lines.len() - 1].join("\n");
+            if !keep.is_empty() {
+                keep.push('\n');
+            }
+            std::fs::write(cfg.root_dir.join("audit.jsonl"), keep)?;
+        }
+
+        let mut st = State {
+            next_id: rep.next_id,
+            rejected: rep.rejected,
+            retried: rep.retries,
+            ..State::default()
+        };
+        let mut report = RecoveryReport {
+            next_id: rep.next_id,
+            torn_tail: rep.torn_tail,
+            ..RecoveryReport::default()
+        };
+        let now = Instant::now();
+        for (id, job) in rep.jobs {
+            st.submitted += 1;
+            let predicted = job.request.predict();
+            let mut entry = JobEntry {
+                predicted,
+                state: JobState::Queued,
+                attempts: job.attempts,
+                expires_at: None,
+                telemetry: None,
+                error: None,
+                failure: None,
+                request: job.request,
+            };
+            match job.outcome {
+                ReplayOutcome::Pending => {
+                    // The deadline clock restarts at recovery: the log has
+                    // no wall-clock anchor, and punishing a job for the
+                    // outage would expire everything.
+                    entry.expires_at = entry
+                        .request
+                        .deadline_ms
+                        .map(|ms| now + Duration::from_millis(ms));
+                    st.in_flight_bytes += predicted.peak_bytes();
+                    st.queue.push_back(id);
+                    report.requeued += 1;
+                }
+                ReplayOutcome::Completed { telemetry } => {
+                    entry.state = JobState::Completed;
+                    entry.telemetry = Some(telemetry);
+                    st.completed += 1;
+                    report.restored += 1;
+                }
+                ReplayOutcome::Failed { kind, error } => {
+                    entry.state = JobState::Failed;
+                    entry.failure = Some(kind);
+                    entry.error = Some(error);
+                    st.failed += 1;
+                    report.restored += 1;
+                }
+                ReplayOutcome::Expired => {
+                    entry.state = JobState::Expired;
+                    entry.error = Some("deadline expired while queued".into());
+                    st.expired += 1;
+                    report.restored += 1;
+                }
+            }
+            st.jobs.insert(id, entry);
+        }
+        st.peak_in_flight_bytes = st.in_flight_bytes;
+
+        let service = SortService::boot(cfg, st, Some(report))?;
+        Ok((service, report))
+    }
+
+    fn boot(
+        cfg: ServiceConfig,
+        state: State,
+        recovered: Option<RecoveryReport>,
+    ) -> std::io::Result<SortService> {
         std::fs::create_dir_all(&cfg.root_dir)?;
         let audit = std::fs::OpenOptions::new()
             .create(true)
@@ -196,11 +450,18 @@ impl SortService {
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
             cfg,
-            state: Mutex::new(State::default()),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
-            audit: Mutex::new(audit),
+            audit: Mutex::new(AuditSink::File(audit)),
         });
+        if let Some(r) = recovered {
+            inner.audit_event(&AuditEvent::Recovered {
+                requeued: r.requeued,
+                restored: r.restored,
+                next_id: r.next_id,
+            });
+        }
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -217,15 +478,20 @@ impl SortService {
     }
 
     /// Admit or reject one job. Admission holds the job's predicted peak
-    /// bytes against the budget until the job finishes.
+    /// bytes against the budget until the job finishes, and — this is the
+    /// WAL discipline — flushes the `accepted` audit event *before* the
+    /// job becomes visible to workers.
     pub fn submit(&self, request: JobRequest) -> Result<JobId, SubmitError> {
         let predicted = request.predict();
         let need = predicted.peak_bytes();
-        let accepted = {
+        let id = {
             let mut st = self.inner.state.lock().expect("service state");
-            if st.draining {
+            // A killed service must refuse work: its audit sink is dead, so
+            // an acceptance here would be a job the log never heard of.
+            if st.draining || st.killed {
                 return Err(SubmitError::Draining);
             }
+            expire_overdue(&self.inner, &mut st);
             let available = self
                 .inner
                 .cfg
@@ -234,17 +500,31 @@ impl SortService {
             if need > available {
                 st.rejected += 1;
                 drop(st);
-                self.audit_line(|o| {
-                    o.str("event", "rejected")
-                        .str("algorithm", request.spec.algorithm().name())
-                        .u64("records", request.records as u64)
-                        .u64("predicted", need)
-                        .u64("available", available);
+                self.inner.audit_event(&AuditEvent::RejectedBudget {
+                    predicted: need,
+                    available,
                 });
                 return Err(SubmitError::Rejected {
                     predicted: need,
                     available,
                 });
+            }
+            if let (Some(deadline_ms), rate) = (request.deadline_ms, self.inner.cfg.io_per_ms) {
+                if rate > 0 {
+                    let eta_ms = predicted.io_cost().div_ceil(rate);
+                    if eta_ms > deadline_ms {
+                        st.rejected += 1;
+                        drop(st);
+                        self.inner.audit_event(&AuditEvent::RejectedDeadline {
+                            eta_ms,
+                            deadline_ms,
+                        });
+                        return Err(SubmitError::DeadlineUnmeetable {
+                            eta_ms,
+                            deadline_ms,
+                        });
+                    }
+                }
             }
             let id = st.next_id;
             st.next_id += 1;
@@ -257,67 +537,94 @@ impl SortService {
                     request: request.clone(),
                     predicted,
                     state: JobState::Queued,
+                    attempts: 0,
+                    expires_at: request
+                        .deadline_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms)),
                     telemetry: None,
                     error: None,
+                    failure: None,
                 },
             );
+            // WAL ordering: the accepted record must be on disk before the
+            // job can run, or a crash could complete work the log never
+            // heard of. The audit lock nests inside the state lock here;
+            // that is the one sanctioned nesting (state → audit).
+            self.inner.audit_event(&AuditEvent::Accepted {
+                id,
+                request,
+                predicted_bytes: need,
+            });
             st.queue.push_back(id);
             id
         };
         self.inner.work_ready.notify_one();
-        self.audit_line(|o| {
-            o.str("event", "accepted")
-                .u64("id", accepted)
-                .str("algorithm", request.spec.algorithm().name())
-                .str("workload", request.workload.name())
-                .u64("records", request.records as u64)
-                .u64("predicted", need);
-        });
-        Ok(accepted)
+        Ok(id)
     }
 
-    /// A snapshot of one job, or `None` for an unknown id.
+    /// A snapshot of one job, or `None` for an unknown id. Observing a
+    /// job also sweeps queue expiry, so a lapsed deadline is visible on
+    /// the very next status call even on an idle service.
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        let st = self.inner.state.lock().expect("service state");
-        st.jobs.get(&id).map(|e| JobStatus {
-            id,
-            state: e.state,
-            predicted: e.predicted,
-            telemetry: e.telemetry.clone(),
-            error: e.error.clone(),
-        })
+        let mut st = self.inner.state.lock().expect("service state");
+        expire_overdue(&self.inner, &mut st);
+        st.jobs.get(&id).map(|e| snapshot(id, e))
     }
 
-    /// Block until job `id` completes or fails; returns its final status
-    /// (`None` for an unknown id).
+    /// Block until job `id` reaches a terminal state; returns its final
+    /// status (`None` for an unknown id).
     pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        self.wait_until(id, None)
+    }
+
+    /// Like [`wait`](SortService::wait), but gives up after `timeout`. On
+    /// timeout the job's *current* (non-terminal) snapshot is returned —
+    /// callers distinguish by [`JobState::is_terminal`].
+    pub fn wait_timeout(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        self.wait_until(id, Some(Instant::now() + timeout))
+    }
+
+    fn wait_until(&self, id: JobId, deadline: Option<Instant>) -> Option<JobStatus> {
         let mut st = self.inner.state.lock().expect("service state");
         loop {
-            match st.jobs.get(&id) {
-                None => return None,
-                Some(e) if matches!(e.state, JobState::Completed | JobState::Failed) => {
-                    return Some(JobStatus {
-                        id,
-                        state: e.state,
-                        predicted: e.predicted,
-                        telemetry: e.telemetry.clone(),
-                        error: e.error.clone(),
-                    });
-                }
-                Some(_) => st = self.inner.job_done.wait(st).expect("service state"),
+            expire_overdue(&self.inner, &mut st);
+            let e = st.jobs.get(&id)?;
+            if e.state.is_terminal() {
+                return Some(snapshot(id, e));
             }
+            let now = Instant::now();
+            if deadline.is_some_and(|d| d <= now) {
+                return Some(snapshot(id, e));
+            }
+            // Short bounded steps rather than one long wait: expiry has no
+            // dedicated timer thread, so waiters double as the sweep.
+            let step = deadline
+                .map(|d| d.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(50))
+                .min(Duration::from_millis(50))
+                .max(Duration::from_millis(1));
+            let (guard, _) = self
+                .inner
+                .job_done
+                .wait_timeout(st, step)
+                .expect("service state");
+            st = guard;
         }
     }
 
     /// Current counters.
     pub fn stats(&self) -> ServiceStats {
-        let st = self.inner.state.lock().expect("service state");
+        let mut st = self.inner.state.lock().expect("service state");
+        expire_overdue(&self.inner, &mut st);
         ServiceStats {
             submitted: st.submitted,
             rejected: st.rejected,
             completed: st.completed,
             failed: st.failed,
+            expired: st.expired,
+            retried: st.retried,
             queued: st.queue.len() as u64,
+            delayed: st.delayed.len() as u64,
             active: st.active,
             in_flight_bytes: st.in_flight_bytes,
             peak_in_flight_bytes: st.peak_in_flight_bytes,
@@ -326,20 +633,64 @@ impl SortService {
     }
 
     /// Graceful shutdown: refuse new submissions, let every admitted job
-    /// finish, join the workers, and flush the audit log. Idempotent.
+    /// finish (including parked retries), join the workers, and flush the
+    /// audit log. Idempotent; a no-op after [`kill`](SortService::kill).
     pub fn drain(&self) {
         {
             let mut st = self.inner.state.lock().expect("service state");
+            if st.killed {
+                return;
+            }
             st.draining = true;
             self.inner.work_ready.notify_all();
-            while !st.queue.is_empty() || st.active > 0 {
-                st = self.inner.job_done.wait(st).expect("service state");
+            while !st.queue.is_empty() || !st.delayed.is_empty() || st.active > 0 {
+                expire_overdue(&self.inner, &mut st);
+                if st.killed {
+                    return;
+                }
+                let (guard, _) = self
+                    .inner
+                    .job_done
+                    .wait_timeout(st, Duration::from_millis(50))
+                    .expect("service state");
+                st = guard;
             }
             if st.drained {
                 return;
             }
             st.drained = true;
         }
+        self.join_workers();
+        self.inner.audit_event(&AuditEvent::Drained);
+        if let AuditSink::File(f) = &mut *self.inner.audit.lock().expect("audit log") {
+            let _ = f.flush();
+        }
+    }
+
+    /// Simulated crash, for recovery and chaos tests: flush what the log
+    /// already has, then make every *later* audit write vanish (as it
+    /// would have in a real crash), abandon queued and running jobs, and
+    /// join the workers. The on-disk log is left exactly as a power cut
+    /// would leave it; [`recover`](SortService::recover) picks up from
+    /// there.
+    pub fn kill(&self) {
+        {
+            let mut sink = self.inner.audit.lock().expect("audit log");
+            if let AuditSink::File(f) = &mut *sink {
+                let _ = f.flush();
+            }
+            *sink = AuditSink::Dead;
+        }
+        {
+            let mut st = self.inner.state.lock().expect("service state");
+            st.killed = true;
+        }
+        self.inner.work_ready.notify_all();
+        self.inner.job_done.notify_all();
+        self.join_workers();
+    }
+
+    fn join_workers(&self) {
         let handles: Vec<_> = self
             .workers
             .lock()
@@ -349,21 +700,6 @@ impl SortService {
         for h in handles {
             let _ = h.join();
         }
-        self.audit_line(|o| {
-            o.str("event", "drained");
-        });
-        let _ = self.inner.audit.lock().expect("audit log").flush();
-    }
-
-    fn audit_line(&self, fill: impl FnOnce(&mut JsonObj)) {
-        let mut o = JsonObj::new();
-        fill(&mut o);
-        let line = o.finish();
-        let mut f = self.inner.audit.lock().expect("audit log");
-        // Audit faults must not take down the data path; events are
-        // best-effort once the file opened.
-        let _ = writeln!(f, "{line}");
-        let _ = f.flush();
     }
 }
 
@@ -373,87 +709,268 @@ impl Drop for SortService {
     }
 }
 
+fn snapshot(id: JobId, e: &JobEntry) -> JobStatus {
+    JobStatus {
+        id,
+        state: e.state,
+        predicted: e.predicted,
+        attempts: e.attempts,
+        telemetry: e.telemetry.clone(),
+        error: e.error.clone(),
+        failure: e.failure,
+    }
+}
+
+/// Expire every queued job whose deadline has lapsed. Called under the
+/// state lock from every observer path and from the worker loop, so a
+/// dedicated timer thread is unnecessary. Running jobs are never expired
+/// — they already consumed a worker; killing them mid-sort buys nothing.
+fn expire_overdue(inner: &Inner, st: &mut State) {
+    let now = Instant::now();
+    let overdue: Vec<JobId> = st
+        .jobs
+        .iter()
+        .filter(|(_, e)| e.state == JobState::Queued && e.expires_at.is_some_and(|t| t <= now))
+        .map(|(&id, _)| id)
+        .collect();
+    if overdue.is_empty() {
+        return;
+    }
+    for &id in &overdue {
+        st.queue.retain(|&q| q != id);
+        st.delayed.retain(|&(_, d)| d != id);
+        let e = st.jobs.get_mut(&id).expect("overdue job exists");
+        e.state = JobState::Expired;
+        e.error = Some("deadline expired while queued".into());
+        let need = e.predicted.peak_bytes();
+        st.in_flight_bytes -= need;
+        st.expired += 1;
+        inner.audit_event(&AuditEvent::Expired { id });
+    }
+    inner.job_done.notify_all();
+}
+
+/// A classified attempt failure.
+struct JobFailure {
+    kind: FailureKind,
+    message: String,
+}
+
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
-        let (id, request) = {
+        let (id, request, attempt) = {
             let mut st = inner.state.lock().expect("service state");
             let id = loop {
+                if st.killed {
+                    return;
+                }
+                expire_overdue(inner, &mut st);
                 if let Some(id) = st.queue.pop_front() {
                     break id;
                 }
-                if st.draining {
+                let now = Instant::now();
+                if let Some(i) = st.delayed.iter().position(|&(due, _)| due <= now) {
+                    let (_, id) = st.delayed.swap_remove(i);
+                    break id;
+                }
+                if st.draining && st.delayed.is_empty() {
                     return;
                 }
-                st = inner.work_ready.wait(st).expect("service state");
+                // Sleep until the earliest reason to wake: a due retry, a
+                // queued job's expiry, or (bounded) a notification.
+                let mut step = Duration::from_millis(500);
+                for &(due, _) in &st.delayed {
+                    step = step.min(due.saturating_duration_since(now));
+                }
+                for e in st.jobs.values() {
+                    if e.state == JobState::Queued {
+                        if let Some(t) = e.expires_at {
+                            step = step.min(t.saturating_duration_since(now));
+                        }
+                    }
+                }
+                let (guard, _) = inner
+                    .work_ready
+                    .wait_timeout(st, step.max(Duration::from_millis(1)))
+                    .expect("service state");
+                st = guard;
             };
             st.active += 1;
             let entry = st.jobs.get_mut(&id).expect("queued job exists");
             entry.state = JobState::Running;
-            (id, entry.request.clone())
+            entry.attempts += 1;
+            let attempt = entry.attempts;
+            inner.audit_event(&AuditEvent::Started { id, attempt });
+            (id, entry.request.clone(), attempt)
         };
-        let result = run_job(inner, id, &request);
-        let (event, need) = {
+
+        // The sort runs outside the lock, fenced by catch_unwind: a
+        // panicking sorter becomes a typed failure, not a dead worker.
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(inner, id, &request, attempt)))
+            .unwrap_or_else(|payload| {
+                // Store paths with no `Result` channel (block appends,
+                // cursor reads) unwind injected device faults as a typed
+                // payload — those are transient I/O, not bugs, and retry.
+                if let Some(io) = payload.downcast_ref::<em_sim::StoreIoPanic>() {
+                    return Err(JobFailure {
+                        kind: FailureKind::Io,
+                        message: format!("store I/O: {io}"),
+                    });
+                }
+                Err(JobFailure {
+                    kind: FailureKind::Panic,
+                    message: panic_message(payload.as_ref()),
+                })
+            });
+
+        {
             let mut st = inner.state.lock().expect("service state");
+            let max_attempts = inner.cfg.max_attempts.max(1);
             let entry = st.jobs.get_mut(&id).expect("running job exists");
             let need = entry.predicted.peak_bytes();
-            let event = match result {
+            enum Done {
+                Completed,
+                Retried(u64),
+                Failed,
+            }
+            let done = match result {
                 Ok(telemetry) => {
                     entry.state = JobState::Completed;
-                    entry.telemetry = Some(telemetry);
-                    "completed"
+                    entry.telemetry = Some(telemetry.clone());
+                    entry.error = None;
+                    inner.audit_event(&AuditEvent::Completed { id, telemetry });
+                    Done::Completed
                 }
-                Err(msg) => {
+                Err(f) if f.kind.retryable() && attempt < max_attempts && !st.killed => {
+                    let entry = st.jobs.get_mut(&id).expect("running job exists");
+                    entry.state = JobState::Queued;
+                    entry.error = Some(f.message.clone());
+                    let shift = (attempt - 1).min(20);
+                    let backoff_ms = inner
+                        .cfg
+                        .backoff_base_ms
+                        .saturating_mul(1u64 << shift)
+                        .min(inner.cfg.backoff_cap_ms);
+                    inner.audit_event(&AuditEvent::Retried {
+                        id,
+                        attempt,
+                        backoff_ms,
+                        error: f.message,
+                    });
+                    Done::Retried(backoff_ms)
+                }
+                Err(f) => {
+                    let entry = st.jobs.get_mut(&id).expect("running job exists");
                     entry.state = JobState::Failed;
-                    entry.error = Some(msg);
-                    "failed"
+                    entry.failure = Some(f.kind);
+                    entry.error = Some(f.message.clone());
+                    inner.audit_event(&AuditEvent::Failed {
+                        id,
+                        kind: f.kind,
+                        error: f.message,
+                    });
+                    Done::Failed
                 }
             };
             st.active -= 1;
-            st.in_flight_bytes -= need;
-            match event {
-                "completed" => st.completed += 1,
-                _ => st.failed += 1,
+            match done {
+                Done::Completed => {
+                    st.completed += 1;
+                    st.in_flight_bytes -= need;
+                }
+                Done::Retried(backoff_ms) => {
+                    // The budget stays held: the job is still the
+                    // service's responsibility, just parked.
+                    st.retried += 1;
+                    st.delayed
+                        .push((Instant::now() + Duration::from_millis(backoff_ms), id));
+                }
+                Done::Failed => {
+                    st.failed += 1;
+                    st.in_flight_bytes -= need;
+                }
             }
-            (event, need)
-        };
+        }
         inner.job_done.notify_all();
-        let mut o = JsonObj::new();
-        o.str("event", event).u64("id", id).u64("released", need);
-        let line = o.finish();
-        let mut f = inner.audit.lock().expect("audit log");
-        let _ = writeln!(f, "{line}");
-        let _ = f.flush();
+        inner.work_ready.notify_all();
     }
 }
 
-/// Run one job: regenerate its input, isolate file-backed storage into a
-/// per-job directory, sort, and render telemetry.
-fn run_job(inner: &Arc<Inner>, id: JobId, request: &JobRequest) -> Result<String, String> {
-    let spec = if request.spec.backend() == Backend::File {
+/// Run one attempt: regenerate the input, point file-backed storage and
+/// the fault schedule at this attempt, sort, render telemetry. Failures
+/// come back classified.
+fn run_job(
+    inner: &Arc<Inner>,
+    id: JobId,
+    request: &JobRequest,
+    attempt: u32,
+) -> Result<String, JobFailure> {
+    let dir = if request.spec.backend() == Backend::File {
         let dir = inner.cfg.root_dir.join(format!("job-{id}"));
-        std::fs::create_dir_all(&dir).map_err(|e| format!("job dir: {e}"))?;
-        isolate(&request.spec, dir).map_err(|e| format!("respec: {e}"))?
+        // A transient filesystem hiccup here is as retryable as one
+        // inside the sort.
+        std::fs::create_dir_all(&dir).map_err(|e| JobFailure {
+            kind: FailureKind::Io,
+            message: format!("job dir: {e}"),
+        })?;
+        Some(dir)
+    } else {
+        None
+    };
+    // Each retry decays the injected-fault schedule (`for_attempt`): the
+    // storm abates while the backoff waits it out, so chaos runs
+    // terminate by construction.
+    let fault = request.spec.fault().map(|f| f.for_attempt(attempt - 1));
+    let spec = if dir.is_some() || fault != request.spec.fault() {
+        respec(&request.spec, dir, fault).map_err(|e| JobFailure {
+            kind: FailureKind::Fatal,
+            message: format!("respec: {e}"),
+        })?
     } else {
         request.spec.clone()
     };
     let input = request
         .workload
         .generate(request.records, request.data_seed);
-    let outcome = sort::run(&spec, &input).map_err(|e| e.to_string())?;
+    let outcome = sort::run(&spec, &input).map_err(|e| JobFailure {
+        kind: match e {
+            ModelError::Io(_) => FailureKind::Io,
+            _ => FailureKind::Fatal,
+        },
+        message: e.to_string(),
+    })?;
     Ok(outcome.to_json(request.include_output))
 }
 
-/// The same job description with its file directory re-pointed — wire specs
-/// may name any `file_dir`, but on the server every file-backed job gets a
-/// private directory under the service root.
-fn isolate(spec: &SortSpec, dir: PathBuf) -> Result<SortSpec, SpecError> {
-    SortSpec::builder(spec.algorithm(), spec.m(), spec.b(), spec.omega())
+/// The same job description with its file directory re-pointed (wire specs
+/// may name any `file_dir`; on the server every file-backed job gets a
+/// private directory under the service root) and its fault schedule
+/// stepped to the current attempt.
+fn respec(
+    spec: &SortSpec,
+    dir: Option<PathBuf>,
+    fault: Option<FaultSpec>,
+) -> Result<SortSpec, SpecError> {
+    let mut b = SortSpec::builder(spec.algorithm(), spec.m(), spec.b(), spec.omega())
         .k(spec.k())
         .lanes(spec.lanes())
         .backend(spec.backend())
         .seed(spec.seed())
         .slack(spec.slack())
         .steal_charge(spec.steal_charge())
-        .file_dir(dir)
-        .build()
+        .fault(fault);
+    if let Some(d) = dir.or_else(|| spec.file_dir().map(PathBuf::from)) {
+        b = b.file_dir(d);
+    }
+    b.build()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: (non-string payload)".into()
+    }
 }

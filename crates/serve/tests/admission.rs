@@ -35,6 +35,7 @@ fn standard_job(data_seed: u64) -> JobRequest {
         records: 60_000,
         data_seed,
         include_output: true,
+        deadline_ms: None,
     }
 }
 
@@ -44,12 +45,7 @@ fn six_concurrent_jobs_against_a_two_job_budget() {
     let budget = 2 * per_job;
     let root = fresh_root("six-jobs");
     let service = std::sync::Arc::new(
-        SortService::start(ServiceConfig {
-            workers: 4,
-            budget_bytes: budget,
-            root_dir: root.clone(),
-        })
-        .expect("start"),
+        SortService::start(ServiceConfig::new(4, budget, root.clone())).expect("start"),
     );
 
     let results: Vec<(u64, Result<u64, SubmitError>)> = std::thread::scope(|s| {
@@ -158,12 +154,7 @@ fn six_concurrent_jobs_against_a_two_job_budget() {
 #[test]
 fn oversized_jobs_are_rejected_deterministically() {
     let root = fresh_root("oversized");
-    let service = SortService::start(ServiceConfig {
-        workers: 2,
-        budget_bytes: 1024,
-        root_dir: root.clone(),
-    })
-    .expect("start");
+    let service = SortService::start(ServiceConfig::new(2, 1024, root.clone())).expect("start");
     let job = standard_job(1);
     let predicted = job.predict().peak_bytes();
     assert!(predicted > 1024);
@@ -182,12 +173,7 @@ fn oversized_jobs_are_rejected_deterministically() {
 #[test]
 fn draining_service_refuses_new_work_and_finishes_old() {
     let root = fresh_root("drain");
-    let service = SortService::start(ServiceConfig {
-        workers: 1,
-        budget_bytes: u64::MAX,
-        root_dir: root.clone(),
-    })
-    .expect("start");
+    let service = SortService::start(ServiceConfig::new(1, u64::MAX, root.clone())).expect("start");
     let ids: Vec<u64> = (0..3)
         .map(|s| service.submit(standard_job(s)).expect("admitted"))
         .collect();
@@ -203,12 +189,7 @@ fn draining_service_refuses_new_work_and_finishes_old() {
 #[test]
 fn file_backend_jobs_get_isolated_directories() {
     let root = fresh_root("file-iso");
-    let service = SortService::start(ServiceConfig {
-        workers: 2,
-        budget_bytes: u64::MAX,
-        root_dir: root.clone(),
-    })
-    .expect("start");
+    let service = SortService::start(ServiceConfig::new(2, u64::MAX, root.clone())).expect("start");
     let mut job = standard_job(5);
     job.records = 2_000;
     job.spec = SortSpec::builder(Algorithm::Mergesort, 64, 8, 16)

@@ -47,12 +47,7 @@ const SMALL_JOB: &str = r#"{
 #[test]
 fn full_session_over_loopback() {
     let root = fresh_root("session");
-    let service = SortService::start(ServiceConfig {
-        workers: 2,
-        budget_bytes: 1 << 20,
-        root_dir: root.clone(),
-    })
-    .expect("start");
+    let service = SortService::start(ServiceConfig::new(2, 1 << 20, root.clone())).expect("start");
     let mut server = serve(service, "127.0.0.1:0").expect("bind");
     let addr = server.addr();
 
@@ -132,5 +127,175 @@ fn full_session_over_loopback() {
         audit.lines().count() >= 4,
         "accepted+completed+rejected+drained"
     );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A mergesort big enough to hold the single worker for a while, so jobs
+/// queued behind it observably wait.
+const BUSY_JOB: &str = r#"{
+    "spec": {"algorithm": "aem-mergesort", "m": 64, "b": 8, "omega": 16, "k": 2},
+    "workload": "uniform", "records": 150000, "data_seed": 3, "include_output": false }"#;
+
+#[test]
+fn wait_long_polls_with_a_bounded_server_side_timeout() {
+    let root = fresh_root("wait");
+    let service = SortService::start(ServiceConfig::new(1, u64::MAX, root.clone())).expect("start");
+    let mut server = serve(service, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // Unknown jobs are 404 on the wait route too.
+    let (code, _) = request(addr, "GET", "/jobs/4096/wait", "");
+    assert_eq!(code, 404);
+
+    let (_, body) = request(addr, "POST", "/jobs", BUSY_JOB);
+    let busy = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let (_, body) = request(addr, "POST", "/jobs", SMALL_JOB);
+    let queued = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    // The queued job sits behind the busy one on the single worker, so a
+    // short wait must come back 408 carrying the *current* snapshot.
+    let (code, body) = request(
+        addr,
+        "GET",
+        &format!("/jobs/{queued}/wait?timeout_ms=50"),
+        "",
+    );
+    assert_eq!(code, 408, "{body}");
+    let v = Json::parse(&body).expect("parses");
+    assert!(
+        matches!(
+            v.get("state").and_then(Json::as_str),
+            Some("queued") | Some("running")
+        ),
+        "{body}"
+    );
+
+    // A long enough wait rides the long-poll to 200 completed.
+    for id in [busy, queued] {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        loop {
+            let (code, body) =
+                request(addr, "GET", &format!("/jobs/{id}/wait?timeout_ms=2000"), "");
+            let v = Json::parse(&body).expect("parses");
+            match v.get("state").and_then(Json::as_str).expect("state") {
+                "completed" => {
+                    assert_eq!(code, 200, "{body}");
+                    break;
+                }
+                "failed" => panic!("job failed: {body}"),
+                _ => {
+                    assert_eq!(code, 408, "{body}");
+                    assert!(std::time::Instant::now() < deadline);
+                }
+            }
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn queued_jobs_past_their_deadline_expire_into_504() {
+    let root = fresh_root("expire");
+    let service = SortService::start(ServiceConfig::new(1, u64::MAX, root.clone())).expect("start");
+    let mut server = serve(service, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let (code, _) = request(addr, "POST", "/jobs", BUSY_JOB);
+    assert_eq!(code, 202);
+    // One millisecond of deadline against a worker held busy for much
+    // longer: the job must expire in the queue, never having run.
+    let dated = SMALL_JOB.replace("\"data_seed\": 11", "\"data_seed\": 11, \"deadline_ms\": 1");
+    let (code, body) = request(addr, "POST", "/jobs", &dated);
+    assert_eq!(code, 202, "{body}");
+    let id = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let (code, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+    assert_eq!(code, 504, "{body}");
+    let v = Json::parse(&body).expect("parses");
+    assert_eq!(v.get("state").and_then(Json::as_str), Some("expired"));
+    assert_eq!(
+        v.get("attempts").and_then(Json::as_u64),
+        Some(0),
+        "never ran"
+    );
+    // The wait route agrees: expiry is terminal, reported as 504.
+    let (code, _) = request(addr, "GET", &format!("/jobs/{id}/wait"), "");
+    assert_eq!(code, 504);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unmeetable_deadlines_are_refused_up_front_with_422() {
+    let root = fresh_root("eta");
+    // 1 modeled I/O unit per millisecond: every real sort's ETA dwarfs a
+    // 1 ms deadline, so admission refuses before anything is queued.
+    let mut cfg = ServiceConfig::new(1, u64::MAX, root.clone());
+    cfg.io_per_ms = 1;
+    let service = SortService::start(cfg).expect("start");
+    let mut server = serve(service, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let dated = SMALL_JOB.replace("\"data_seed\": 11", "\"data_seed\": 11, \"deadline_ms\": 1");
+    let (code, body) = request(addr, "POST", "/jobs", &dated);
+    assert_eq!(code, 422, "{body}");
+    let v = Json::parse(&body).expect("parses");
+    assert_eq!(
+        v.get("error").and_then(Json::as_str),
+        Some("deadline_unmeetable")
+    );
+    assert!(v.get("eta_ms").and_then(Json::as_u64).unwrap() > 1);
+
+    // The same job without a deadline sails through.
+    let (code, _) = request(addr, "POST", "/jobs", SMALL_JOB);
+    assert_eq!(code, 202);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn oversized_request_bodies_get_a_typed_413_without_allocation() {
+    let root = fresh_root("toolarge");
+    let service = SortService::start(ServiceConfig::new(1, u64::MAX, root.clone())).expect("start");
+    let mut server = serve(service, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // Declare a body far over the cap but never send it: the server must
+    // answer from the headers alone instead of trying to read (or
+    // allocate) two gigabytes.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /jobs HTTP/1.1\r\nHost: test\r\nContent-Length: 2147483647\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send headers");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let code: u16 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert_eq!(code, 413, "{response}");
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+    let v = Json::parse(body).expect("parses");
+    assert_eq!(v.get("error").and_then(Json::as_str), Some("too_large"));
+    assert_eq!(v.get("length").and_then(Json::as_u64), Some(2147483647));
+    assert!(v.get("max").and_then(Json::as_u64).unwrap() >= 1 << 20);
+
+    // The connection above did not wedge the server.
+    let (code, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(code, 200);
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -1,0 +1,316 @@
+//! Crash recovery, pinned: kill a service mid-flight (queued and running
+//! jobs dropped on the floor, exactly like a power cut), recover from the
+//! audit log alone, and check that nothing audited is lost or duplicated,
+//! re-run jobs produce byte-identical outcomes, and the id counter
+//! resumes. Plus the prefix property: replaying *any* byte prefix of a
+//! real session's `audit.jsonl` yields a consistent state, and longer
+//! prefixes only ever add information.
+
+use asym_core::sort::{self, Algorithm, SortOutcome, SortSpec};
+use asym_model::workload::Workload;
+use asym_serve::{replay, JobRequest, JobState, ReplayOutcome, ServiceConfig, SortService};
+use em_sim::FaultSpec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn fresh_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asym-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job(data_seed: u64, records: usize) -> JobRequest {
+    JobRequest {
+        spec: SortSpec::builder(Algorithm::Mergesort, 64, 8, 16)
+            .k(2)
+            .build()
+            .expect("valid spec"),
+        workload: Workload::UniformRandom,
+        records,
+        data_seed,
+        include_output: true,
+        deadline_ms: None,
+    }
+}
+
+#[test]
+fn kill_and_recover_restores_queue_counters_and_results() {
+    let root = fresh_root("kill");
+    let cfg = ServiceConfig::new(1, u64::MAX, root.clone());
+
+    // Six real jobs on one worker, then the plug is pulled: at most a
+    // couple complete, the rest die queued or mid-run.
+    let service = SortService::start(cfg.clone()).expect("start");
+    for seed in 0..6 {
+        service.submit(job(seed, 60_000)).expect("admitted");
+    }
+    service.kill();
+    drop(service);
+
+    // What does the log say survived?
+    let text = std::fs::read_to_string(root.join("audit.jsonl")).expect("audit");
+    let pre = replay(&text).expect("replays");
+    assert_eq!(pre.jobs.len(), 6, "every accepted job is in the WAL");
+    assert_eq!(pre.next_id, 6);
+    let terminal_before = pre
+        .jobs
+        .values()
+        .filter(|j| j.outcome.is_terminal())
+        .count() as u64;
+    let pending_before = 6 - terminal_before;
+
+    // Recover: unfinished jobs re-queue, finished ones come back restored.
+    let (service, report) = SortService::recover(cfg.clone()).expect("recover");
+    assert_eq!(report.requeued, pending_before, "conservation: requeued");
+    assert_eq!(report.restored, terminal_before, "conservation: restored");
+    assert_eq!(report.next_id, 6);
+    assert!(!report.torn_tail, "kill writes whole lines");
+
+    // The id counter resumes past every id ever issued — no reuse.
+    let new_id = service.submit(job(6, 20_000)).expect("admitted");
+    assert_eq!(new_id, 6);
+
+    // Every job — survivors, re-runs, and the new one — completes with
+    // output and stats byte-identical to a direct run of the same spec.
+    for id in 0..=6u64 {
+        let status = service.wait(id).expect("known job");
+        assert_eq!(
+            status.state,
+            JobState::Completed,
+            "{id}: {:?}",
+            status.error
+        );
+        let outcome =
+            SortOutcome::from_json(status.telemetry.as_ref().expect("telemetry")).expect("decode");
+        let request = job(id, if id == 6 { 20_000 } else { 60_000 });
+        let direct = sort::run(
+            &request.spec,
+            &request
+                .workload
+                .generate(request.records, request.data_seed),
+        )
+        .expect("direct run");
+        assert_eq!(outcome.output, direct.output, "job {id}");
+        assert_eq!(outcome.stats, direct.stats, "job {id}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 7);
+    service.drain();
+    drop(service);
+
+    // The final log holds the whole story: 7 jobs, ids 0..=6, all terminal
+    // exactly once — nothing audited was lost or duplicated.
+    let text = std::fs::read_to_string(root.join("audit.jsonl")).expect("audit");
+    let full = replay(&text).expect("replays");
+    assert_eq!(
+        full.jobs.keys().copied().collect::<Vec<_>>(),
+        (0..=6u64).collect::<Vec<_>>()
+    );
+    assert!(
+        full.pending().next().is_none(),
+        "nothing pending after drain"
+    );
+    assert!(full
+        .jobs
+        .values()
+        .all(|j| matches!(j.outcome, ReplayOutcome::Completed { .. })));
+
+    // Recovery is idempotent: recovering the already-clean log re-queues
+    // nothing and restores everything.
+    let (service, report) = SortService::recover(cfg.clone()).expect("re-recover");
+    assert_eq!(report.requeued, 0);
+    assert_eq!(report.restored, 7);
+    assert_eq!(report.next_id, 7);
+    service.kill(); // leave the log exactly as it is
+    drop(service);
+
+    // Crash-during-recovery: tear the tail by hand; recover tolerates it,
+    // reports it, and truncates so later appends cannot corrupt the log.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(root.join("audit.jsonl"))
+        .expect("open");
+    write!(f, "{{\"v\": 1, \"event\": \"acc").expect("tear");
+    drop(f);
+    let (service, report) = SortService::recover(cfg).expect("recover torn");
+    assert!(report.torn_tail);
+    assert_eq!(report.restored, 7);
+    service.drain();
+    drop(service);
+    let text = std::fs::read_to_string(root.join("audit.jsonl")).expect("audit");
+    let after = replay(&text).expect("truncation kept the log clean");
+    assert!(!after.torn_tail);
+    assert_eq!(after.jobs.len(), 7);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One real service session whose audit log exercises every event type:
+/// completions, seeded-fault retries, a deterministic panic failure, a
+/// queue expiry, and a budget rejection. Generated once, replayed from
+/// many prefixes below.
+fn session_log() -> &'static str {
+    static LOG: OnceLock<String> = OnceLock::new();
+    LOG.get_or_init(|| {
+        // The panic job panics inside the worker's catch_unwind; silence
+        // the hook for worker threads only so the storm doesn't spray
+        // backtraces (test-harness panics stay visible).
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sort-worker"));
+            if !worker {
+                default_hook(info);
+            }
+        }));
+        let root = fresh_root("session");
+        let mut cfg = ServiceConfig::new(1, u64::MAX, root.clone());
+        cfg.max_attempts = 12;
+        cfg.backoff_base_ms = 1;
+        cfg.backoff_cap_ms = 10;
+        cfg.budget_bytes = job(0, 60_000).predict().peak_bytes() * 4;
+        let service = SortService::start(cfg).expect("start");
+
+        // Every job here skips output telemetry: the exhaustive prefix
+        // test below replays O(len) prefixes of this log, so `completed`
+        // events must stay lean or the quadratic sweep crawls.
+        let job = |seed: u64, records: usize| {
+            let mut j = job(seed, records);
+            j.include_output = false;
+            j
+        };
+
+        // Busy job pins the single worker...
+        service.submit(job(0, 60_000)).expect("admitted");
+        // ...so a 1 ms deadline lapses in the queue: a deterministic
+        // `expired` event.
+        let mut dated = job(1, 3_000);
+        dated.deadline_ms = Some(1);
+        service.submit(dated).expect("admitted");
+        // Seeded read faults: `retried` events, then success by decay.
+        let mut flaky = job(2, 3_000);
+        let mut fault = FaultSpec::new(0xDECAF);
+        fault.read_permille = 500;
+        flaky.spec = SortSpec::builder(Algorithm::Mergesort, 64, 8, 16)
+            .k(2)
+            .fault(Some(fault))
+            .build()
+            .expect("valid spec");
+        service.submit(flaky).expect("admitted");
+        // A certain panic: `failed` with kind "panic".
+        let mut doomed = job(3, 3_000);
+        let mut fault = FaultSpec::new(0xBAD);
+        fault.panic_permille = 1_000;
+        doomed.spec = SortSpec::builder(Algorithm::Mergesort, 64, 8, 16)
+            .k(2)
+            .fault(Some(fault))
+            .build()
+            .expect("valid spec");
+        service.submit(doomed).expect("admitted");
+        // And one the budget turns away: a `rejected` event. Peak bytes
+        // scale with M, not the record count, so ask for a monster M.
+        let mut monster = job(4, 1_000);
+        monster.spec = SortSpec::builder(Algorithm::Mergesort, 1 << 24, 8, 16)
+            .k(2)
+            .build()
+            .expect("valid spec");
+        let err = service.submit(monster).expect_err("over budget");
+        assert!(matches!(err, asym_serve::SubmitError::Rejected { .. }));
+
+        service.drain();
+        drop(service);
+        let text = std::fs::read_to_string(root.join("audit.jsonl")).expect("audit");
+        let _ = std::fs::remove_dir_all(&root);
+
+        // The session must actually contain the variety the prefixes are
+        // sliced from.
+        let full = replay(&text).expect("replays");
+        assert_eq!(full.jobs.len(), 4);
+        assert!(full.retries >= 1, "the fault storm fired");
+        assert_eq!(full.rejected, 1);
+        assert!(matches!(full.jobs[&1].outcome, ReplayOutcome::Expired));
+        assert!(matches!(
+            full.jobs[&2].outcome,
+            ReplayOutcome::Completed { .. }
+        ));
+        assert!(matches!(
+            full.jobs[&3].outcome,
+            ReplayOutcome::Failed { kind, .. } if kind == asym_serve::FailureKind::Panic
+        ));
+        text
+    })
+}
+
+#[test]
+fn longer_prefixes_only_add_information() {
+    let text = session_log();
+    let full = replay(text).expect("full replay");
+    let mut prev_terminal: Vec<(u64, ReplayOutcome)> = Vec::new();
+    let mut prev_next_id = 0u64;
+    let mut prev_jobs = 0usize;
+    // Every byte prefix, exhaustively: replay never errors (the cut can
+    // only tear the final line), and state grows monotonically — ids and
+    // jobs never regress, terminal outcomes never change or un-terminalize.
+    for cut in 0..=text.len() {
+        let rep = replay(&text[..cut]).expect("prefix replays");
+        assert!(rep.next_id >= prev_next_id, "id counter regressed at {cut}");
+        assert!(rep.jobs.len() >= prev_jobs, "jobs vanished at {cut}");
+        assert!(rep.next_id <= full.next_id);
+        for (id, outcome) in &prev_terminal {
+            assert_eq!(
+                &rep.jobs[id].outcome, outcome,
+                "terminal outcome changed at {cut}"
+            );
+        }
+        prev_terminal = rep
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.outcome.is_terminal())
+            .map(|(&id, j)| (id, j.outcome.clone()))
+            .collect();
+        prev_next_id = rep.next_id;
+        prev_jobs = rep.jobs.len();
+    }
+    // And the final prefix is the full log.
+    assert_eq!(replay(text).expect("full"), full);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict prefix of the session log recovers to a state consistent
+    /// with the full log: same requests, attempts within the final count,
+    /// terminal outcomes (when present) identical, and every non-terminal
+    /// job exactly the set a recovery would re-queue.
+    #[test]
+    fn any_prefix_recovers_consistently(cut_permille in 0u32..1000) {
+        let text = session_log();
+        let full = replay(text).expect("full replay");
+        let cut = (text.len() * cut_permille as usize) / 1000;
+        let rep = replay(&text[..cut]).expect("prefix replays");
+
+        prop_assert!(rep.next_id <= full.next_id);
+        prop_assert!(rep.jobs.len() <= full.jobs.len());
+        prop_assert!(rep.retries <= full.retries);
+        for (id, j) in &rep.jobs {
+            let f = &full.jobs[id];
+            prop_assert_eq!(&j.request, &f.request, "request {} mutated", id);
+            prop_assert!(j.attempts <= f.attempts);
+            if j.outcome.is_terminal() {
+                prop_assert_eq!(&j.outcome, &f.outcome, "terminal outcome {} drifted", id);
+            }
+        }
+        // The re-queue set is exactly the accepted-minus-terminal jobs.
+        let pending: Vec<u64> = rep.pending().collect();
+        let expect: Vec<u64> = rep
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.outcome.is_terminal())
+            .map(|(&id, _)| id)
+            .collect();
+        prop_assert_eq!(pending, expect);
+    }
+}

@@ -27,12 +27,8 @@ fn main() {
         .build()
         .unwrap();
     let budget = 8 * 1024;
-    let service = SortService::start(ServiceConfig {
-        workers: 4,
-        budget_bytes: budget,
-        root_dir: root.clone(),
-    })
-    .expect("start service");
+    let service =
+        SortService::start(ServiceConfig::new(4, budget, root.clone())).expect("start service");
     let server = serve(service, "127.0.0.1:0").expect("bind");
     println!(
         "sort service on http://{} (budget {budget} B)\n",
@@ -50,6 +46,7 @@ fn main() {
                 records: 50_000,
                 data_seed: 1,
                 include_output: false,
+                deadline_ms: None,
             },
         ),
         (
@@ -63,6 +60,7 @@ fn main() {
                 records: 50_000,
                 data_seed: 2,
                 include_output: false,
+                deadline_ms: None,
             },
         ),
         (
@@ -76,6 +74,7 @@ fn main() {
                 records: 50_000,
                 data_seed: 3,
                 include_output: false,
+                deadline_ms: None,
             },
         ),
         (
@@ -89,6 +88,7 @@ fn main() {
                 records: 20_000,
                 data_seed: 4,
                 include_output: false,
+                deadline_ms: None,
             },
         ),
     ];

@@ -4,115 +4,37 @@
 //! and must not corrupt the slot table: live-block accounting still
 //! balances and untouched blocks stay readable.
 //!
-//! The `Interrupted` faults are injected through a wrapping
-//! [`BlockStore`] mounted with [`EmMachine::with_store`] (the same
-//! extension point an out-of-tree backend would use); the short read is
-//! real — the temp file is truncated mid-block through a second handle.
+//! The `Interrupted` faults are injected through the workspace's own
+//! [`FaultStore`] wrapping a real [`FileStore`], mounted with
+//! [`EmMachine::with_store`] (the same extension point an out-of-tree
+//! backend would use) and armed through its shared [`FaultPlan`]; the
+//! short read is real — the temp file is truncated mid-block through a
+//! second handle.
 
-use asym_model::{ModelError, Record, Result};
-use em_sim::{Backend, BlockId, BlockStore, EmConfig, EmMachine, EmVec, FileStore};
-use std::cell::Cell;
-use std::rc::Rc;
-
-/// Which operations the wrapper should fail next.
-#[derive(Clone, Default)]
-struct FaultPlan {
-    /// Let this many reads through before the armed read faults fire.
-    read_skip: Rc<Cell<u32>>,
-    /// Fail this many upcoming reads with `Interrupted`, then recover.
-    reads: Rc<Cell<u32>>,
-    /// Fail this many upcoming writes with `Interrupted`, then recover.
-    writes: Rc<Cell<u32>>,
-}
-
-impl FaultPlan {
-    fn arm_reads(&self, n: u32) {
-        self.reads.set(n);
-    }
-    /// Arm `n` read faults that fire only after `skip` successful reads —
-    /// used to land a fault in a specific phase of an algorithm.
-    fn arm_reads_after(&self, skip: u32, n: u32) {
-        self.read_skip.set(skip);
-        self.reads.set(n);
-    }
-    fn arm_writes(&self, n: u32) {
-        self.writes.set(n);
-    }
-    fn take_read(&self) -> bool {
-        let skip = self.read_skip.get();
-        if skip > 0 {
-            self.read_skip.set(skip - 1);
-            return false;
-        }
-        Self::take(&self.reads)
-    }
-    fn take(cell: &Cell<u32>) -> bool {
-        let left = cell.get();
-        if left > 0 {
-            cell.set(left - 1);
-            true
-        } else {
-            false
-        }
-    }
-}
-
-fn interrupted() -> ModelError {
-    ModelError::Io(std::io::Error::from(std::io::ErrorKind::Interrupted).to_string())
-}
-
-/// A [`BlockStore`] that interposes on a real [`FileStore`], injecting
-/// transient errors per the shared [`FaultPlan`]. Slot bookkeeping stays in
-/// the wrapped store, so a failed transfer must leave it untouched.
-struct FaultStore {
-    inner: FileStore,
-    plan: FaultPlan,
-}
-
-impl BlockStore for FaultStore {
-    fn block_size(&self) -> usize {
-        self.inner.block_size()
-    }
-    fn alloc(&mut self, records: &[Record]) -> BlockId {
-        self.inner.alloc(records)
-    }
-    fn read_into(&mut self, id: BlockId, out: &mut Vec<Record>) -> Result<()> {
-        if self.plan.take_read() {
-            return Err(interrupted());
-        }
-        self.inner.read_into(id, out)
-    }
-    fn write(&mut self, id: BlockId, records: &[Record]) -> Result<()> {
-        if FaultPlan::take(&self.plan.writes) {
-            return Err(interrupted());
-        }
-        self.inner.write(id, records)
-    }
-    fn release(&mut self, id: BlockId) -> Result<()> {
-        self.inner.release(id)
-    }
-    fn live_blocks(&self) -> usize {
-        self.inner.live_blocks()
-    }
-    fn slots(&self) -> usize {
-        self.inner.slots()
-    }
-    fn peek_into(&mut self, id: BlockId, out: &mut Vec<Record>) -> Result<()> {
-        self.inner.peek_into(id, out)
-    }
-}
+use asym_model::{ModelError, Record};
+use em_sim::{
+    Backend, BlockStore, EmConfig, EmMachine, EmVec, FaultPlan, FaultSpec, FaultStore, FileStore,
+};
 
 fn recs(keys: &[u64]) -> Vec<Record> {
     keys.iter().map(|&k| Record::keyed(k)).collect()
 }
 
+/// A machine on a real temp file behind an armable fault injector. The
+/// probabilistic stream is left at zero rates: only armed faults fire, so
+/// every test here is exactly deterministic.
 fn faulty_machine(m: usize, b: usize) -> (EmMachine, FaultPlan) {
-    let plan = FaultPlan::default();
-    let store = FaultStore {
-        inner: FileStore::new(b).expect("temp file"),
-        plan: plan.clone(),
-    };
-    let em = EmMachine::with_store(EmConfig::new(m, b, 8), Box::new(store));
+    faulty_machine_cfg(EmConfig::new(m, b, 8))
+}
+
+fn faulty_machine_cfg(cfg: EmConfig) -> (EmMachine, FaultPlan) {
+    let b = cfg.b;
+    let store = FaultStore::new(
+        Box::new(FileStore::new(b).expect("temp file")),
+        FaultSpec::new(0),
+    );
+    let plan = store.plan();
+    let em = EmMachine::with_store(cfg, Box::new(store));
     assert_eq!(em.backend(), Backend::Custom);
     (em, plan)
 }
@@ -164,15 +86,8 @@ fn algorithms_survive_a_transient_fault_without_slot_corruption() {
     use asym_model::workload::Workload;
 
     let (m, b, k) = (32usize, 4usize, 2usize);
-    let plan = FaultPlan::default();
-    let store = FaultStore {
-        inner: FileStore::new(b).expect("temp file"),
-        plan: plan.clone(),
-    };
-    let em = EmMachine::with_store(
-        EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)),
-        Box::new(store),
-    );
+    let (em, plan) =
+        faulty_machine_cfg(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
     let input = Workload::UniformRandom.generate(600, 31);
     let v = EmVec::stage(&em, &input);
 

@@ -5,33 +5,50 @@
 
 use asym_core::sort::{run, Algorithm, SortOutcome, SortSpec, WireError};
 use asym_model::workload::Workload;
-use em_sim::Backend;
+use em_sim::{Backend, FaultSpec};
 use proptest::prelude::*;
 
 /// An arbitrary *valid* spec: geometry drawn from shapes every algorithm
 /// accepts, full-range seeds (the exact-integer case the codec exists for),
-/// lanes forced to 1 on the serial sorts.
+/// lanes forced to 1 on the serial sorts, and roughly half carrying a
+/// fault schedule (full-range seed, any legal permille rates).
 fn arb_spec() -> impl Strategy<Value = SortSpec> {
     (
         (0usize..4, 0usize..3, 1u64..64, 1usize..5),
         (0u64..u64::MAX, 0usize..2, 0u8..2, 1usize..5),
+        (0u8..2, 0u64..u64::MAX, 0u16..1001, 0u16..1001, 0u16..1001),
     )
-        .prop_map(|((alg, shape, omega, k), (seed, backend, steal, lanes))| {
-            let algorithm = Algorithm::ALL[alg];
-            let (m, b) = [(32usize, 4usize), (64, 8), (128, 8)][shape];
-            let backend = [Backend::Mem, Backend::File][backend];
-            let mut builder = SortSpec::builder(algorithm, m, b, omega)
-                .k(k)
-                .seed(seed)
-                .backend(backend);
-            if algorithm.is_parallel() {
-                builder = builder.lanes(lanes).steal_charge(steal == 1);
-            }
-            if backend == Backend::File {
-                builder = builder.file_dir(format!("/tmp/wire-{seed}"));
-            }
-            builder.build().expect("generated specs are valid")
-        })
+        .prop_map(
+            |(
+                (alg, shape, omega, k),
+                (seed, backend, steal, lanes),
+                (faulty, fault_seed, read, write, short),
+            )| {
+                let algorithm = Algorithm::ALL[alg];
+                let (m, b) = [(32usize, 4usize), (64, 8), (128, 8)][shape];
+                let backend = [Backend::Mem, Backend::File][backend];
+                let mut builder = SortSpec::builder(algorithm, m, b, omega)
+                    .k(k)
+                    .seed(seed)
+                    .backend(backend);
+                if algorithm.is_parallel() {
+                    builder = builder.lanes(lanes).steal_charge(steal == 1);
+                }
+                if backend == Backend::File {
+                    builder = builder.file_dir(format!("/tmp/wire-{seed}"));
+                }
+                if faulty == 1 {
+                    builder = builder.fault(Some(FaultSpec {
+                        seed: fault_seed,
+                        read_permille: read,
+                        write_permille: write,
+                        short_permille: short,
+                        panic_permille: 0,
+                    }));
+                }
+                builder.build().expect("generated specs are valid")
+            },
+        )
 }
 
 proptest! {

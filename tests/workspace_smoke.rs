@@ -55,6 +55,7 @@ fn umbrella_reexports_resolve() {
         records: 1000,
         data_seed: 1,
         include_output: false,
+        deadline_ms: None,
     };
     assert!(request.predict().peak_bytes() > 0);
     let wire = request.to_json();
