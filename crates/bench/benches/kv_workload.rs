@@ -1,0 +1,74 @@
+//! kv-workload — the ω-aware LSM engine end to end, wall clock plus the
+//! frozen modeled counts CI gates on.
+//!
+//! Replays the E14 op stream (80% puts, 10% deletes, 10% gets, fixed
+//! xorshift seed) through real `asym-kv` engines across the `(style, T, ω)`
+//! grid. Every compaction runs as an admitted sort-service job, so the
+//! measured totals — engine flush/probe I/O merged with each job's stats —
+//! exercise the memtable, the fence-pointer probes, the merge scheduler,
+//! and the service submit path in one number per cell.
+//!
+//! ```text
+//! cargo bench -p asym-bench --bench kv_workload              # + BENCH_kv.json
+//! cargo bench -p asym-bench --bench kv_workload -- --json out.json
+//! ASYM_BENCH_SCALE=smoke cargo bench -p asym-bench --bench kv_workload
+//! ```
+//!
+//! The modeled `(reads, writes, peak_memory)` in the report are
+//! deterministic (pinned seed, pinned fan-in, backend-invariant stats), so
+//! the committed `BENCH_kv.json` baseline is an exact-count regression gate
+//! — `bench_check` fails CI on any drift — while wall clock gets the usual
+//! tolerance.
+
+use asym_bench::e14_kv::{measure, ops_for, KvMeasurement, OMEGAS, STYLE_POINTS};
+use asym_bench::json::{json_path_from_args, BenchReport};
+use asym_bench::Scale;
+use criterion::{BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let scale = Scale::from_env();
+    // Default next to README.md (cargo runs benches from the package dir).
+    let default_json = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kv.json");
+    let json_path = json_path_from_args(std::env::args().skip(1), default_json);
+    let ops = ops_for(scale);
+
+    // Criterion wall-clock display (min/mean/max per cell), ω=8 column only
+    // — the physical schedule is ω-invariant (pinned fan-in), so timing one
+    // ω keeps the bench fast without losing coverage.
+    let mut c = Criterion::default();
+    {
+        let mut group = c.benchmark_group("kv-workload");
+        group
+            .sample_size(scale.pick(3, 5, 5))
+            .warm_up_time(Duration::from_millis(scale.pick(50, 300, 300)));
+        for (style, t) in STYLE_POINTS {
+            let id = format!("{}-t{t}", style.name());
+            group.bench_with_input(BenchmarkId::new(id, ops), &(), |b, ()| {
+                b.iter(|| measure(style, t, 8, ops))
+            });
+        }
+        group.finish();
+    }
+
+    // One clean timed run per (style, T, ω) cell feeds the JSON report.
+    let mut report = BenchReport::new("kv-workload", scale.name())
+        .with_backend(asym_bench::backend_from_env().name());
+    for omega in OMEGAS {
+        for (style, t) in STYLE_POINTS {
+            let start = Instant::now();
+            let m: KvMeasurement = measure(style, t, omega, ops);
+            let secs = start.elapsed().as_secs_f64();
+            let id = format!("kv-{}-t{t}-omega{omega}", style.name());
+            report.push_with_stats(id, m.ops, secs, m.stats);
+        }
+    }
+    report.write_to(&json_path).expect("write bench json");
+    println!("wrote bench report to {}", json_path.display());
+    for e in report.entries() {
+        println!(
+            "{:<28} {:>8} ops in {:>9.4}s  ->  {:>10.0} ops/sec  (r={}, w={})",
+            e.id, e.records, e.seconds, e.records_per_sec, e.reads, e.writes
+        );
+    }
+}

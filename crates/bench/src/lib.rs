@@ -1,6 +1,6 @@
 //! # asym-bench — the experiment harness
 //!
-//! One module per experiment in DESIGN.md §3 (E0–E13); each reproduces one
+//! One module per experiment in DESIGN.md §3 (E0–E14); each reproduces one
 //! theorem, lemma, or figure of the paper as a measured table. The
 //! `tables` bench target (`cargo bench -p asym-bench --bench tables`) runs
 //! them all and prints the tables that EXPERIMENTS.md catalogs.
@@ -32,6 +32,7 @@ pub mod e10_matmul_em;
 pub mod e11_matmul_co;
 pub mod e12_scheduler;
 pub mod e13_par_sort;
+pub mod e14_kv;
 pub mod e1_pram_sort;
 pub mod e2_partition;
 pub mod e3_mergesort;
@@ -152,7 +153,7 @@ pub fn measure_sort(spec: &SortSpec, input: &[Record]) -> (u64, u64, u64) {
 
 /// An experiment: an id, the paper claim it reproduces, and a runner.
 pub struct Experiment {
-    /// Identifier (E0..E12).
+    /// Identifier (E0..E14).
     pub id: &'static str,
     /// The theorem / lemma / figure being reproduced.
     pub claim: &'static str,
@@ -232,6 +233,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "E13",
             claim: "§4–§5 parallel sort: lane-sharded AEM machine preserves write totals",
             run: e13_par_sort::run,
+        },
+        Experiment {
+            id: "E14",
+            claim: "E-KV: omega-aware LSM frontier, compactions as admitted sort jobs",
+            run: e14_kv::run,
         },
     ]
 }

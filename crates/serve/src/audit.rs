@@ -458,6 +458,7 @@ mod tests {
             workload: Workload::Zipf,
             records: 300,
             data_seed: 5,
+            input: None,
             include_output: false,
             deadline_ms: Some(9_000),
         }

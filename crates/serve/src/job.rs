@@ -1,16 +1,23 @@
 //! Job descriptions and job lifecycle: what a client submits and what it
 //! can observe afterwards.
 //!
-//! A [`JobRequest`] is a [`SortSpec`] plus the data to sort, described by
-//! name — a [`Workload`] generator, a record count, and a seed — so the
-//! request stays a few hundred bytes no matter how large the job is, and
-//! the service regenerates identical input on its side (the same convention
-//! the bench harness uses). `include_output` chooses between lean telemetry
-//! and full sorted output in the completion payload.
+//! A [`JobRequest`] is a [`SortSpec`] plus the data to sort, described one
+//! of two ways. The original form names the data — a [`Workload`]
+//! generator, a record count, and a seed — so the request stays a few
+//! hundred bytes no matter how large the job is, and the service
+//! regenerates identical input on its side (the same convention the bench
+//! harness uses). Library consumers whose data is not a named generator
+//! (the `asym-kv` compactor merging real sorted runs) instead ship the
+//! records *inline* via [`JobRequest::inline`]: when `input` is present it
+//! is sorted verbatim, `workload`/`data_seed` are ignored, and `records`
+//! mirrors `input.len()` so `predict()` prices the actual payload.
+//! `include_output` chooses between lean telemetry and full sorted output
+//! in the completion payload.
 
 use asym_core::sort::{CostEstimate, SortSpec, WireError};
-use asym_model::json::{self, Json, JsonObj};
+use asym_model::json::{self, Json, JsonArr, JsonObj};
 use asym_model::workload::Workload;
+use asym_model::Record;
 
 /// Identifies one submitted job for the rest of its life (assigned by the
 /// service, monotonically increasing).
@@ -22,11 +29,22 @@ pub struct JobRequest {
     /// The validated job description (algorithm, geometry, backend, ...).
     pub spec: SortSpec,
     /// Named input generator; the service regenerates the data server-side.
+    /// Ignored when [`input`](Self::input) is present.
     pub workload: Workload,
-    /// How many records to generate and sort.
+    /// How many records to generate and sort. When [`input`](Self::input)
+    /// is present this mirrors `input.len()` (the decoder enforces it).
     pub records: usize,
-    /// Seed for the workload generator.
+    /// Seed for the workload generator. Ignored when
+    /// [`input`](Self::input) is present.
     pub data_seed: u64,
+    /// Inline records to sort verbatim, for consumers whose data is not a
+    /// named generator (compactions merging real sorted runs). Takes
+    /// precedence over `workload`/`data_seed`. Over HTTP the encoded
+    /// request must still fit the body cap
+    /// ([`MAX_BODY`](crate::http::MAX_BODY)), which bounds inline jobs to
+    /// tens of thousands of records — by design: bulk data belongs in
+    /// named generators or future object-store references.
+    pub input: Option<Vec<Record>>,
     /// Include the sorted records in the completion telemetry (off for
     /// stats-only submissions).
     pub include_output: bool,
@@ -38,19 +56,48 @@ pub struct JobRequest {
 }
 
 impl JobRequest {
-    /// The pre-run cost bounds the service admits on.
-    pub fn predict(&self) -> CostEstimate {
-        self.spec.predict(self.records)
+    /// A job over inline data: sort exactly `input`, return the sorted
+    /// records in the telemetry. The `asym-kv` compactor submits its run
+    /// merges through this.
+    pub fn inline(spec: SortSpec, input: Vec<Record>) -> JobRequest {
+        JobRequest {
+            spec,
+            workload: Workload::UniformRandom, // ignored: input is inline
+            records: input.len(),
+            data_seed: 0,
+            input: Some(input),
+            include_output: true,
+            deadline_ms: None,
+        }
     }
 
-    /// Render as a single-line JSON object (`spec` nested verbatim).
+    /// How many records this job sorts — the inline payload length when
+    /// present, the generator count otherwise.
+    pub fn record_count(&self) -> usize {
+        self.input.as_ref().map_or(self.records, Vec::len)
+    }
+
+    /// The pre-run cost bounds the service admits on.
+    pub fn predict(&self) -> CostEstimate {
+        self.spec.predict(self.record_count())
+    }
+
+    /// Render as a single-line JSON object (`spec` nested verbatim,
+    /// inline input as `[key, payload]` pairs when present).
     pub fn to_json(&self) -> String {
         let mut o = JsonObj::new();
         o.raw("spec", &self.spec.to_json())
             .str("workload", self.workload.name())
-            .u64("records", self.records as u64)
+            .u64("records", self.record_count() as u64)
             .u64("data_seed", self.data_seed)
             .bool("include_output", self.include_output);
+        if let Some(input) = &self.input {
+            let mut arr = JsonArr::new();
+            for r in input {
+                arr.raw(&format!("[{}, {}]", r.key, r.payload));
+            }
+            o.raw("input", &arr.finish());
+        }
         if let Some(d) = self.deadline_ms {
             o.u64("deadline_ms", d);
         }
@@ -73,14 +120,42 @@ impl JobRequest {
             .ok_or_else(|| WireError::Malformed("missing string field \"workload\"".into()))?;
         let workload = Workload::parse(&name)
             .ok_or_else(|| WireError::Malformed(format!("unknown workload {name:?}")))?;
-        let records = json::get_u64(obj, "records")
-            .ok_or_else(|| WireError::Malformed("missing numeric field \"records\"".into()))?
-            as usize;
+        let input = match json::find(obj, "input") {
+            None => None,
+            Some(arr) => {
+                let items = arr
+                    .as_arr()
+                    .ok_or_else(|| WireError::Malformed("\"input\" must be an array".into()))?;
+                let mut records = Vec::with_capacity(items.len());
+                for item in items {
+                    let pair = item.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        WireError::Malformed("input records are [key, payload] pairs".into())
+                    })?;
+                    let key = pair[0]
+                        .as_u64()
+                        .ok_or_else(|| WireError::Malformed("record key must be a u64".into()))?;
+                    let payload = pair[1].as_u64().ok_or_else(|| {
+                        WireError::Malformed("record payload must be a u64".into())
+                    })?;
+                    records.push(Record::new(key, payload));
+                }
+                Some(records)
+            }
+        };
+        // Inline input is authoritative for the record count; `records` is
+        // only required for generator jobs.
+        let records = match &input {
+            Some(v) => v.len(),
+            None => json::get_u64(obj, "records")
+                .ok_or_else(|| WireError::Malformed("missing numeric field \"records\"".into()))?
+                as usize,
+        };
         Ok(JobRequest {
             spec,
             workload,
             records,
             data_seed: json::get_u64(obj, "data_seed").unwrap_or(0),
+            input,
             include_output: json::get_bool(obj, "include_output").unwrap_or(false),
             deadline_ms: json::get_u64(obj, "deadline_ms"),
         })
@@ -228,6 +303,7 @@ mod tests {
             workload: Workload::Zipf,
             records: 5_000,
             data_seed: 0xDEAD_BEEF_DEAD_BEEF,
+            input: None,
             include_output: true,
             deadline_ms: Some(2_500),
         }
@@ -238,6 +314,60 @@ mod tests {
         let r = request();
         let decoded = JobRequest::from_json(&r.to_json()).expect("decode");
         assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn inline_requests_round_trip_and_predict_on_payload_length() {
+        let spec = SortSpec::builder(Algorithm::Mergesort, 64, 8, 16)
+            .k(4)
+            .build()
+            .unwrap();
+        let input: Vec<Record> = (0..300).map(|i| Record::new(999 - i, i)).collect();
+        let r = JobRequest::inline(spec.clone(), input.clone());
+        assert_eq!(r.records, 300);
+        assert_eq!(r.record_count(), 300);
+        assert!(r.include_output, "inline jobs want the sorted payload back");
+        assert_eq!(r.predict(), spec.predict(300));
+        let decoded = JobRequest::from_json(&r.to_json()).expect("decode");
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.input.as_deref(), Some(&input[..]));
+    }
+
+    #[test]
+    fn inline_length_is_authoritative_over_a_lying_records_field() {
+        let text = r#"{ "spec": {"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8},
+                        "workload": "uniform", "records": 7,
+                        "input": [[5, 0], [3, 1], [4, 2]] }"#;
+        let r = JobRequest::from_json(text).expect("decode");
+        assert_eq!(r.records, 3, "records mirrors input.len()");
+        assert_eq!(r.predict(), r.spec.predict(3));
+    }
+
+    #[test]
+    fn malformed_inline_input_is_typed() {
+        for (text, needle) in [
+            (
+                r#"{ "spec": {"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8},
+                    "workload": "uniform", "input": 9 }"#,
+                "must be an array",
+            ),
+            (
+                r#"{ "spec": {"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8},
+                    "workload": "uniform", "input": [[1, 2, 3]] }"#,
+                "[key, payload] pairs",
+            ),
+            (
+                r#"{ "spec": {"algorithm": "aem-mergesort", "m": 32, "b": 4, "omega": 8},
+                    "workload": "uniform", "input": [[1, -2]] }"#,
+                "payload must be a u64",
+            ),
+        ] {
+            let err = JobRequest::from_json(text).unwrap_err();
+            assert!(
+                matches!(err, WireError::Malformed(ref m) if m.contains(needle)),
+                "{text}: {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //!         workload: Workload::UniformRandom,
 //!         records: 10_000,
 //!         data_seed: 42,
+//!         input: None,
 //!         include_output: false,
 //!         deadline_ms: None,
 //!     })

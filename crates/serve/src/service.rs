@@ -896,7 +896,8 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
-/// Run one attempt: regenerate the input, point file-backed storage and
+/// Run one attempt: materialize the input (inline payload, or regenerated
+/// from the named workload), point file-backed storage and
 /// the fault schedule at this attempt, sort, render telemetry. Failures
 /// come back classified.
 fn run_job(
@@ -929,9 +930,13 @@ fn run_job(
     } else {
         request.spec.clone()
     };
-    let input = request
-        .workload
-        .generate(request.records, request.data_seed);
+    // Inline payloads sort verbatim; generator jobs regenerate server-side.
+    let input = match &request.input {
+        Some(records) => records.clone(),
+        None => request
+            .workload
+            .generate(request.records, request.data_seed),
+    };
     let outcome = sort::run(&spec, &input).map_err(|e| JobFailure {
         kind: match e {
             ModelError::Io(_) => FailureKind::Io,

@@ -34,6 +34,7 @@ fn standard_job(data_seed: u64) -> JobRequest {
         workload: Workload::UniformRandom,
         records: 60_000,
         data_seed,
+        input: None,
         include_output: true,
         deadline_ms: None,
     }

@@ -95,6 +95,7 @@ fn job(spec: SortSpec, records: usize, data_seed: u64) -> JobRequest {
         workload: Workload::UniformRandom,
         records,
         data_seed,
+        input: None,
         include_output: false,
         deadline_ms: None,
     }

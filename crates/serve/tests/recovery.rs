@@ -29,6 +29,7 @@ fn job(data_seed: u64, records: usize) -> JobRequest {
         workload: Workload::UniformRandom,
         records,
         data_seed,
+        input: None,
         include_output: true,
         deadline_ms: None,
     }

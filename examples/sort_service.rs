@@ -45,6 +45,7 @@ fn main() {
                 workload: Workload::UniformRandom,
                 records: 50_000,
                 data_seed: 1,
+                input: None,
                 include_output: false,
                 deadline_ms: None,
             },
@@ -59,6 +60,7 @@ fn main() {
                 workload: Workload::Zipf,
                 records: 50_000,
                 data_seed: 2,
+                input: None,
                 include_output: false,
                 deadline_ms: None,
             },
@@ -73,6 +75,7 @@ fn main() {
                 workload: Workload::NearlySorted,
                 records: 50_000,
                 data_seed: 3,
+                input: None,
                 include_output: false,
                 deadline_ms: None,
             },
@@ -87,6 +90,7 @@ fn main() {
                 workload: Workload::FewDistinct,
                 records: 20_000,
                 data_seed: 4,
+                input: None,
                 include_output: false,
                 deadline_ms: None,
             },

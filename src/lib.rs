@@ -20,6 +20,10 @@
 //! * [`serve`] (`asym-serve`) — sort-as-a-service: a worker-pool job
 //!   server with cost-model admission control and an HTTP/1.1 front door
 //!   speaking the `core::sort::wire` JSON formats.
+//! * [`kv`] (`asym-kv`) — the ω-aware LSM key-value engine built on
+//!   `em_sim` runs, with every compaction submitted to `serve` as a
+//!   `predict()`-priced sort job and a policy model choosing
+//!   leveling-vs-tiering per ω.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@
 //! ```
 
 pub use asym_core as core;
+pub use asym_kv as kv;
 pub use asym_model as model;
 pub use asym_serve as serve;
 pub use cache_sim;

@@ -54,6 +54,7 @@ fn umbrella_reexports_resolve() {
         workload: asym_sort::model::workload::Workload::UniformRandom,
         records: 1000,
         data_seed: 1,
+        input: None,
         include_output: false,
         deadline_ms: None,
     };
@@ -63,4 +64,20 @@ fn umbrella_reexports_resolve() {
         asym_sort::serve::JobRequest::from_json(&wire).expect("round trip"),
         request
     );
+
+    // asym_sort::kv — the LSM engine opens, serves a round trip, and its
+    // ω-aware policy chooser resolves.
+    let mut cfg = asym_sort::kv::KvConfig::new(8);
+    cfg.memtable_cap = 16;
+    cfg.m = 128;
+    cfg.b = 8;
+    let mut kv = asym_sort::kv::AsymKv::new(cfg).expect("kv engine");
+    for i in 0..40u64 {
+        kv.put(i, i + 1).expect("put");
+    }
+    kv.delete(3).expect("delete");
+    assert_eq!(kv.get(5).expect("get"), Some(6));
+    assert_eq!(kv.get(3).expect("get"), None);
+    let policy = asym_sort::kv::Policy::for_omega(32);
+    assert_eq!(policy, asym_sort::kv::Policy::for_omega(32));
 }
