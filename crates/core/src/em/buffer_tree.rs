@@ -20,6 +20,13 @@
 //! Node routing tables (≤ l−1 separator records plus child pointers) are
 //! held in host memory and their transfers charged explicitly at ⌈c/B⌉
 //! blocks per load/store, matching the model's accounting.
+//!
+//! **Duplicate records.** Records need not be unique: routing is
+//! equal-goes-left (a record equal to a separator routes to the child left
+//! of it), separators may repeat when a duplicate-heavy run is chopped
+//! mid-twin, and the buffer selection sort keys candidates by
+//! `(Record, scan index)` so identical records survive multi-pass
+//! extraction. Every path is count-preserving.
 
 use asym_model::{ModelError, Record, Result};
 use em_sim::{BlockId, EmMachine};
@@ -371,29 +378,36 @@ impl BufferTree {
         let n: usize = runs.iter().map(Run::len).sum();
         let _set_lease = self.machine.lease(m)?;
         let mut writer = RunWriter::new(&self.machine);
-        let mut last_written: Option<Record> = None;
+        // Candidates are keyed `(Record, scan index)`: the scan order over
+        // the runs is identical every pass, so the index is a stable
+        // tie-break that keeps duplicate records distinguishable (raw-record
+        // comparisons would skip every twin of a written record and spin).
+        let mut last_written: Option<(Record, usize)> = None;
         let mut remaining = n;
         while remaining > 0 {
-            let mut heap: BinaryHeap<Record> = BinaryHeap::with_capacity(m + 1);
+            let mut heap: BinaryHeap<(Record, usize)> = BinaryHeap::with_capacity(m + 1);
             let mut reader = RunsReader::new(&self.machine, runs);
+            let mut idx = 0usize;
             while let Some(r) = reader.next()? {
+                let cand = (r, idx);
+                idx += 1;
                 if let Some(lw) = last_written {
-                    if r <= lw {
+                    if cand <= lw {
                         continue;
                     }
                 }
                 if heap.len() < m {
-                    heap.push(r);
-                } else if r < *heap.peek().expect("non-empty") {
+                    heap.push(cand);
+                } else if cand < *heap.peek().expect("non-empty") {
                     heap.pop();
-                    heap.push(r);
+                    heap.push(cand);
                 }
             }
             let batch = heap.into_sorted_vec();
             debug_assert!(!batch.is_empty());
             last_written = batch.last().copied();
             remaining -= batch.len();
-            for r in batch {
+            for (r, _) in batch {
                 writer.push(&self.machine, r);
             }
         }
@@ -906,7 +920,11 @@ impl BufferTree {
                 assert!(recs.windows(2).all(|w| w[0] <= w[1]), "leaf unsorted");
                 for r in &recs {
                     if let Some(lo) = lo {
-                        assert!(*r > lo, "leaf record below separator range");
+                        // `>=`, not `>`: duplicate-heavy leaves can split
+                        // mid-twin, leaving copies of the separator record on
+                        // both sides (routing still sends *new* equal records
+                        // to the leftmost such child, which is in range).
+                        assert!(*r >= lo, "leaf record below separator range");
                     }
                     if let Some(hi) = hi {
                         assert!(*r <= hi, "leaf record above separator range");
@@ -924,7 +942,11 @@ impl BufferTree {
                         self.l / 4
                     );
                 }
-                assert!(seps.windows(2).all(|w| w[0] < w[1]), "separators unsorted");
+                // Weak inequality: chopping a duplicate-heavy run can give
+                // adjacent pieces the same max record, hence equal separators
+                // (the child between two equal separators simply owns no new
+                // routed records).
+                assert!(seps.windows(2).all(|w| w[0] <= w[1]), "separators unsorted");
                 for (i, &c) in children.iter().enumerate() {
                     let clo = if i == 0 { lo } else { Some(seps[i - 1]) };
                     let chi = if i == children.len() - 1 {
@@ -1110,6 +1132,34 @@ mod tests {
             .collect();
         expect.sort();
         assert_eq!(drained, expect);
+    }
+
+    #[test]
+    fn duplicate_heavy_streams_are_conserved() {
+        // All-identical and 90%-duplicate streams: leaf splits produce equal
+        // separators and the selection sort sees nothing but twins — the old
+        // record-keyed disciplines lost records or spun forever here.
+        let identical = vec![Record::new(5, 5); 900];
+        let few_distinct: Vec<Record> = (0..900).map(|i| Record::new(i % 9, 0)).collect();
+        for input in [identical, few_distinct] {
+            let em = machine(16, 2, 1);
+            let mut t = BufferTree::new(em.clone(), 1).unwrap();
+            for &r in &input {
+                t.insert(r).unwrap();
+            }
+            assert_eq!(t.len(), input.len());
+            t.validate();
+            let mut drained: Vec<Record> = Vec::new();
+            while let Some(batch) = t.pop_leftmost_leaf().unwrap() {
+                assert!(batch.windows(2).all(|w| w[0] <= w[1]), "batch sorted");
+                drained.extend(batch);
+                t.validate();
+            }
+            let mut expect = input.clone();
+            expect.sort();
+            assert_eq!(drained, expect, "records lost or reordered");
+            assert!(t.is_empty());
+        }
     }
 
     #[test]

@@ -13,28 +13,31 @@
 //! peeks at both extremes and O(log n) pushes and pops of either end with no
 //! per-entry allocation.
 //!
-//! The queue stores `(Record, T)` entries ordered by record only. Records
-//! are assumed unique (the paper's convention; generators tie-break with the
-//! position index), which makes every drain and ejection decision — and
-//! hence every modeled block transfer — identical to the `BTreeMap`
-//! implementation's.
+//! The queue stores `(K, T)` entries ordered by the key `K` alone, and the
+//! key must be a **strict total order**: equal keys would make drain and
+//! ejection decisions ambiguous. Callers with potentially-duplicate records
+//! make the key unique by pairing the record with a provenance sequence —
+//! the mergesort uses `(Record, Seq)` where `Seq` is the record's
+//! `(run, offset)` origin (see `em::mergesort`), so truly identical records
+//! get distinct keys and drain in stable run order instead of being dropped.
+//! On unique-record inputs the sequence never decides a comparison, so every
+//! modeled block transfer is identical to keying on the record alone.
 
-use asym_model::Record;
-
-/// A bounded double-ended priority queue over `(Record, T)` entries, laid
-/// out as a flat interval heap.
+/// A bounded double-ended priority queue over `(K, T)` entries, laid out as
+/// a flat interval heap. Keys must be unique (a strict total order over the
+/// live entries); payloads travel with their keys.
 ///
 /// Invariants on the backing array: slots `2i` and `2i+1` form node `i` with
 /// `entries[2i] <= entries[2i+1]`; the even (low) slots form a min-heap and
 /// the odd (high) slots a max-heap; every node's interval is contained in
 /// its parent's. The final node may hold a single entry.
 #[derive(Debug)]
-pub struct FlatMergeQueue<T> {
-    entries: Vec<(Record, T)>,
+pub struct FlatMergeQueue<K, T> {
+    entries: Vec<(K, T)>,
     cap: usize,
 }
 
-impl<T: Copy> FlatMergeQueue<T> {
+impl<K: Ord + Copy, T: Copy> FlatMergeQueue<K, T> {
     /// An empty queue that will hold at most `cap` entries. The backing
     /// storage is allocated once, up front.
     pub fn with_capacity(cap: usize) -> Self {
@@ -60,13 +63,13 @@ impl<T: Copy> FlatMergeQueue<T> {
         self.cap
     }
 
-    /// The smallest record, in O(1).
-    pub fn peek_min(&self) -> Option<Record> {
+    /// The smallest key, in O(1).
+    pub fn peek_min(&self) -> Option<K> {
         self.entries.first().map(|e| e.0)
     }
 
-    /// The largest record, in O(1).
-    pub fn peek_max(&self) -> Option<Record> {
+    /// The largest key, in O(1).
+    pub fn peek_max(&self) -> Option<K> {
         match self.entries.len() {
             0 => None,
             1 => Some(self.entries[0].0),
@@ -76,9 +79,9 @@ impl<T: Copy> FlatMergeQueue<T> {
 
     /// Insert an entry. Panics if the queue is full (Algorithm 2 always
     /// ejects before inserting into a full queue).
-    pub fn push(&mut self, rec: Record, payload: T) {
+    pub fn push(&mut self, key: K, payload: T) {
         assert!(self.entries.len() < self.cap, "merge queue overfull");
-        self.entries.push((rec, payload));
+        self.entries.push((key, payload));
         let i = self.entries.len() - 1;
         if i == 0 {
             return;
@@ -99,7 +102,7 @@ impl<T: Copy> FlatMergeQueue<T> {
     }
 
     /// Remove and return the smallest entry.
-    pub fn pop_min(&mut self) -> Option<(Record, T)> {
+    pub fn pop_min(&mut self) -> Option<(K, T)> {
         let n = self.entries.len();
         if n == 0 {
             return None;
@@ -142,7 +145,7 @@ impl<T: Copy> FlatMergeQueue<T> {
     }
 
     /// Remove and return the largest entry.
-    pub fn pop_max(&mut self) -> Option<(Record, T)> {
+    pub fn pop_max(&mut self) -> Option<(K, T)> {
         let n = self.entries.len();
         if n <= 2 {
             // The maximum is the last slot (slot 1 of node 0, or the lone
@@ -263,6 +266,7 @@ impl<T: Copy> FlatMergeQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asym_model::Record;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use std::collections::BTreeMap;
@@ -273,7 +277,7 @@ mod tests {
 
     #[test]
     fn min_and_max_of_small_queues() {
-        let mut q: FlatMergeQueue<u32> = FlatMergeQueue::with_capacity(8);
+        let mut q: FlatMergeQueue<Record, u32> = FlatMergeQueue::with_capacity(8);
         assert_eq!(q.peek_min(), None);
         assert_eq!(q.peek_max(), None);
         assert_eq!(q.pop_min(), None);
@@ -291,7 +295,7 @@ mod tests {
 
     #[test]
     fn ascending_drain_matches_sorted_input() {
-        let mut q: FlatMergeQueue<usize> = FlatMergeQueue::with_capacity(64);
+        let mut q: FlatMergeQueue<Record, usize> = FlatMergeQueue::with_capacity(64);
         let keys = [9u64, 2, 40, 17, 1, 33, 25, 8, 16, 4];
         for (i, &k) in keys.iter().enumerate() {
             q.push(rec(k), i);
@@ -309,7 +313,7 @@ mod tests {
 
     #[test]
     fn descending_drain_matches_reverse_sorted_input() {
-        let mut q: FlatMergeQueue<usize> = FlatMergeQueue::with_capacity(64);
+        let mut q: FlatMergeQueue<Record, usize> = FlatMergeQueue::with_capacity(64);
         let keys = [9u64, 2, 40, 17, 1, 33, 25, 8, 16, 4];
         for (i, &k) in keys.iter().enumerate() {
             q.push(rec(k), i);
@@ -326,7 +330,7 @@ mod tests {
 
     #[test]
     fn payloads_travel_with_their_records() {
-        let mut q: FlatMergeQueue<&'static str> = FlatMergeQueue::with_capacity(4);
+        let mut q: FlatMergeQueue<Record, &'static str> = FlatMergeQueue::with_capacity(4);
         q.push(rec(2), "two");
         q.push(rec(1), "one");
         q.push(rec(3), "three");
@@ -338,7 +342,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overfull")]
     fn push_beyond_capacity_panics() {
-        let mut q: FlatMergeQueue<u32> = FlatMergeQueue::with_capacity(2);
+        let mut q: FlatMergeQueue<Record, u32> = FlatMergeQueue::with_capacity(2);
         q.push(rec(1), 0);
         q.push(rec(2), 0);
         q.push(rec(3), 0);
@@ -352,7 +356,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0xF1A7);
         for case in 0..200 {
             let cap = rng.gen_range(1usize..48);
-            let mut q: FlatMergeQueue<u64> = FlatMergeQueue::with_capacity(cap);
+            let mut q: FlatMergeQueue<Record, u64> = FlatMergeQueue::with_capacity(cap);
             let mut reference: BTreeMap<Record, u64> = BTreeMap::new();
             let mut next_payload = 0u64;
             for step in 0..400 {
@@ -386,6 +390,62 @@ mod tests {
                 assert_eq!(q.len(), reference.len());
                 q.validate();
             }
+        }
+    }
+
+    /// The duplicate-record discipline: keys are `(Record, seq)` pairs where
+    /// the sequence is assigned at push time, exactly as the mergesort tags
+    /// provenance. Heavily duplicated records (keys drawn from a tiny range)
+    /// must drain identically to the `BTreeMap` reference and never lose an
+    /// entry — the invariant the old record-only ordering violated.
+    #[test]
+    fn duplicate_records_with_seq_keys_match_btreemap_reference() {
+        let mut rng = StdRng::seed_from_u64(0xD0_9E);
+        for case in 0..200 {
+            let cap = rng.gen_range(1usize..48);
+            let mut q: FlatMergeQueue<(Record, u64), u64> = FlatMergeQueue::with_capacity(cap);
+            let mut reference: BTreeMap<(Record, u64), u64> = BTreeMap::new();
+            let mut next_seq = 0u64;
+            let mut pushed = 0u64;
+            let mut drained = 0u64;
+            for step in 0..400 {
+                let op = rng.gen_range(0u8..6);
+                match op {
+                    0 | 1 if reference.len() < cap => {
+                        // Keys from a range of 4: nearly every record is a
+                        // duplicate of a live one.
+                        let r = Record::new(rng.gen_range(0..4), 0);
+                        let key = (r, next_seq);
+                        next_seq += 1;
+                        pushed += 1;
+                        q.push(key, key.1);
+                        reference.insert(key, key.1);
+                    }
+                    2 => {
+                        let expect = reference.pop_first();
+                        let got = q.pop_min();
+                        assert_eq!(got, expect, "case {case} step {step} pop_min");
+                        drained += u64::from(got.is_some());
+                    }
+                    3 => {
+                        let expect = reference.pop_last();
+                        let got = q.pop_max();
+                        assert_eq!(got, expect, "case {case} step {step} pop_max");
+                        drained += u64::from(got.is_some());
+                    }
+                    4 => {
+                        assert_eq!(q.peek_min(), reference.first_key_value().map(|(k, _)| *k));
+                    }
+                    _ => {
+                        assert_eq!(q.peek_max(), reference.last_key_value().map(|(k, _)| *k));
+                    }
+                }
+                assert_eq!(q.len(), reference.len());
+                q.validate();
+            }
+            // Length preservation: every pushed entry is still queued or was
+            // drained — duplicates are never silently dropped.
+            assert_eq!(pushed, drained + q.len() as u64, "case {case} lost entries");
         }
     }
 }

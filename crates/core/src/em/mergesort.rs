@@ -31,14 +31,29 @@
 //!    records, and leaves the round's ≥ M output guarantee (and hence
 //!    Lemma 4.1's counting) intact.
 //!
+//! **Duplicate records.** The paper assumes records form a strict total
+//! order (its convention is that a position index can always be appended to
+//! break ties), and earlier versions of this merge inherited that as a hard
+//! requirement: `lastV`, the bar, and the queue all compared raw records,
+//! so a truly identical record was `<= lastV` the moment its twin was
+//! written and got silently skipped — records were lost. The merge now keys
+//! every candidate by `(Record, Seq)` where `Seq` is the record's
+//! provenance — (source-run index, offset within the run) — which is unique
+//! by construction. Runs are sorted, so the composite key is strictly
+//! increasing within a run; across runs the run index breaks ties. Equal
+//! records therefore drain in stable run order and none is ever dropped.
+//! On unique-record inputs the provenance never decides a comparison, so
+//! every insertion, ejection, and drain decision — and hence every modeled
+//! block transfer — is bit-identical to the old record-only ordering
+//! (`tests/cost_golden.rs` and the committed `BENCH_*.json` baselines pin
+//! this).
+//!
 //! One implementation deviation (performance, not semantics): the paper's
 //! priority queue Q is realized as a [`FlatMergeQueue`] — a bounded flat
-//! interval heap — rather than the `BTreeMap<Record, Mark>` the seed used.
-//! Both expose peek-max / pop-max / push / pop-min over unique records, so
-//! every insertion, ejection, and drain decision (and therefore every
-//! modeled block transfer) is identical; the flat heap just does it without
-//! allocating a node per record. The golden-count tests in
-//! `tests/cost_golden.rs` pin this equivalence.
+//! interval heap — rather than the `BTreeMap` the seed used. Both expose
+//! peek-max / pop-max / push / pop-min over the same strict-total-order
+//! keys, so every decision is identical; the flat heap just does it without
+//! allocating a node per record.
 
 use super::merge_queue::FlatMergeQueue;
 use super::selection::selection_sort;
@@ -117,6 +132,21 @@ struct Mark {
     last_in_block: bool,
 }
 
+/// Provenance of a merge candidate: the index of its source run within the
+/// current merge and its offset within that run. Pairing a record with its
+/// provenance gives the merge a strict total order even when records are
+/// duplicated (see the module docs): within a run offsets increase, across
+/// runs the run index breaks ties, so equal records drain in stable run
+/// order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Seq {
+    run: u32,
+    offset: u64,
+}
+
+/// The merge's comparison key: the record itself, tie-broken by provenance.
+type MergeKey = (Record, Seq);
+
 /// Merge l sorted runs (Lemma 4.1): at most (k+1)⌈n/B⌉ reads, ⌈n/B⌉ writes
 /// (plus one pointer-block write per consumed block when
 /// `opts.pointers_on_disk`).
@@ -142,12 +172,12 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
     // In-memory priority queue: a bounded flat interval heap of capacity M
     // (see the module docs). In-memory operations are free in the model;
     // only block transfers are charged.
-    let mut queue: FlatMergeQueue<Mark> = FlatMergeQueue::with_capacity(m);
+    let mut queue: FlatMergeQueue<MergeKey, Mark> = FlatMergeQueue::with_capacity(m);
     // Per-run cursor: index of the current (not fully consumed) block.
     let mut next_block: Vec<usize> = vec![0; l];
     // The shared load buffer, reused for every block read of the merge.
     let mut load_buf: Vec<Record> = Vec::with_capacity(b);
-    let mut last_v: Option<Record> = None;
+    let mut last_v: Option<MergeKey> = None;
     let mut written = 0usize;
 
     // Load the current block of run `i` (into the shared, reused load
@@ -156,11 +186,11 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
     fn do_process_block(
         machine: &EmMachine,
         runs: &[EmVec],
-        queue: &mut FlatMergeQueue<Mark>,
+        queue: &mut FlatMergeQueue<MergeKey, Mark>,
         next_block: &mut [usize],
         load_buf: &mut Vec<Record>,
-        last_v: &Option<Record>,
-        bar: &mut Option<Record>,
+        last_v: &Option<MergeKey>,
+        bar: &mut Option<MergeKey>,
         i: usize,
     ) -> Result<()> {
         let run = &runs[i];
@@ -168,32 +198,42 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
         if bi >= run.num_blocks() {
             return Ok(());
         }
+        let block_cap = machine.b();
         machine.read_block_into(run.block_ids()[bi], load_buf)?;
         let last_idx = load_buf.len() - 1;
         for (j, &e) in load_buf.iter().enumerate() {
+            // Every full block holds exactly B records, so the record's
+            // run-relative offset is recoverable from its block position.
+            let key: MergeKey = (
+                e,
+                Seq {
+                    run: i as u32,
+                    offset: (bi * block_cap + j) as u64,
+                },
+            );
             if let Some(lv) = last_v {
-                if e <= *lv {
+                if key <= *lv {
                     continue; // already written in an earlier round
                 }
             }
-            // Round bar: nothing at or above a record the round has already
+            // Round bar: nothing at or above a key the round has already
             // turned away may enter (see module docs, deviation 2).
-            if let Some(b) = bar {
-                if e >= *b {
+            if let Some(bk) = bar {
+                if key >= *bk {
                     continue;
                 }
             }
             if queue.len() >= queue.capacity() {
                 let qmax = queue.peek_max().expect("non-empty");
-                if e >= qmax {
-                    *bar = Some(bar.map_or(e, |b| b.min(e)));
+                if key >= qmax {
+                    *bar = Some(bar.map_or(key, |bk| bk.min(key)));
                     continue;
                 }
                 let (ejected, _) = queue.pop_max().expect("non-empty");
-                *bar = Some(bar.map_or(ejected, |b| b.min(ejected)));
+                *bar = Some(bar.map_or(ejected, |bk| bk.min(ejected)));
             }
             queue.push(
-                e,
+                key,
                 Mark {
                     run: i as u32,
                     last_in_block: j == last_idx,
@@ -206,7 +246,7 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
     while written < total {
         // Phase 1: scan the current block of every run. The bar resets each
         // round: records above it become eligible again.
-        let mut bar: Option<Record> = None;
+        let mut bar: Option<MergeKey> = None;
         for i in 0..l {
             do_process_block(
                 machine,
@@ -224,10 +264,10 @@ fn merge_runs(machine: &EmMachine, runs: &[EmVec], k: usize, opts: MergeOpts) ->
             "phase 1 must make progress"
         );
         // Phase 2: drain the queue, chasing block boundaries.
-        while let Some((e, mark)) = queue.pop_min() {
-            writer.push(e);
+        while let Some((key, mark)) = queue.pop_min() {
+            writer.push(key.0);
             written += 1;
-            last_v = Some(e);
+            last_v = Some(key);
             if mark.last_in_block {
                 let i = mark.run as usize;
                 next_block[i] += 1;
@@ -284,6 +324,25 @@ mod tests {
         let v = EmVec::stage(&em, &input);
         let sorted = aem_mergesort(&em, v, 1).unwrap();
         assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_sort_without_losing_records() {
+        let (m, b, k) = (32usize, 4usize, 2usize);
+        let em = machine(m, b, 8, k);
+        // All-identical inputs used to lose every twin of the first written
+        // record to the `e <= lastV` skip; the (Record, seq) keys keep them.
+        let identical = vec![Record::new(7, 7); 500];
+        // 90%-duplicate keys over a tiny alphabet.
+        let few_distinct: Vec<Record> = (0..500).map(|i| Record::new(i % 5, i % 2)).collect();
+        for input in [identical, few_distinct] {
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_mergesort(&em, v, k).unwrap();
+            let out = sorted.read_all_uncharged(&em);
+            assert_eq!(out.len(), input.len(), "records lost");
+            assert_sorted_permutation(&input, &out);
+            sorted.free(&em);
+        }
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! * the **β working set** — at most 2kM of the next smallest, stored in
 //!   appended disk blocks. β is never rewritten on extraction: deletions are
 //!   *implicit*, maintained as a list of pairs (i, x) meaning "every record
-//!   with index ≤ i and key ≤ x is deleted" (indices decrease, keys increase
-//!   along the list, so validity is one comparison against the first pair
-//!   with i ≥ idx). β is rebuilt (compacted) after k extractions, and its
-//!   largest kM records are pushed down into the buffer tree when it
+//!   with append-index ≤ i and key ≤ x is deleted" (indices ascend, keys
+//!   descend along the list, so validity is one comparison against the first
+//!   pair with i ≥ idx). β is rebuilt (compacted) after k extractions, and
+//!   its largest kM records are pushed down into the buffer tree when it
 //!   overflows 2kM;
 //! * the **buffer tree** ([`super::buffer_tree::BufferTree`]) — everything
 //!   else. Refilling an empty β empties the root-to-leftmost-leaf path and
@@ -18,6 +18,14 @@
 //!
 //! Order invariant maintained throughout: max(α) ≤ min(valid β) ≤ max(valid
 //! β) ≤ min(tree), so delete-min = pop(α).
+//!
+//! **Duplicate records.** Records need not be unique. α is keyed
+//! `(Record, seq)` with a fresh per-insertion sequence so a `BTreeSet` can
+//! hold identical records without collapsing them, and β's implicit
+//! deletions compare `(Record, append-index)` lexicographically — the
+//! composite keys are unique, so an extraction's invalidation pair deletes
+//! *exactly* the extracted copies and never an unextracted twin. On
+//! unique-record inputs neither tie-break ever decides a comparison.
 
 use super::buffer_tree::BufferTree;
 use asym_model::{Record, Result};
@@ -35,7 +43,11 @@ pub fn pq_slack(m: usize, b: usize, k: usize) -> usize {
 pub struct AemPriorityQueue {
     machine: EmMachine,
     k: usize,
-    alpha: BTreeSet<Record>,
+    /// The α set, keyed `(Record, seq)`: the per-insertion sequence keeps
+    /// duplicate records distinct inside the set (it carries no meaning
+    /// beyond uniqueness and never leaves the structure).
+    alpha: BTreeSet<(Record, u64)>,
+    alpha_seq: u64,
     alpha_cap: usize,
     beta: BetaSet,
     tree: BufferTree,
@@ -55,8 +67,12 @@ struct BetaSet {
     valid: usize,
     /// Maximum valid record (None when `valid == 0`).
     max: Option<Record>,
-    /// Invalidation pairs (i, x): ascending i, descending x.
-    pairs: Vec<(usize, Record)>,
+    /// Invalidation pairs (i, x): ascending i, descending x, where x is a
+    /// composite `(Record, append-index)` key — "every record with
+    /// append-index ≤ i and composite key ≤ x is deleted". Composite keys
+    /// are unique, so a pair deletes exactly the extracted copies even when
+    /// records are duplicated.
+    pairs: Vec<(usize, (Record, usize))>,
     /// Extractions since the last rebuild.
     extractions: usize,
     _tail_lease: MemLease,
@@ -80,7 +96,7 @@ impl BetaSet {
     fn is_valid(&self, idx: usize, rec: Record) -> bool {
         // First pair with i >= idx has the largest x among applicable pairs.
         match self.pairs.iter().find(|&&(i, _)| i >= idx) {
-            Some(&(_, x)) => rec > x,
+            Some(&(_, x)) => (rec, idx) > x,
             None => true,
         }
     }
@@ -131,18 +147,22 @@ impl BetaSet {
         lease_cells: usize,
     ) -> Result<Vec<Record>> {
         let _scratch = machine.lease(lease_cells)?;
-        let mut heap: BinaryHeap<Record> = BinaryHeap::with_capacity(count + 1);
-        self.scan_valid(machine, |_, r| {
+        // Candidates are composite `(Record, append-index)` keys, so equal
+        // records stay distinct and the invalidation pair below covers
+        // exactly the extracted copies.
+        let mut heap: BinaryHeap<(Record, usize)> = BinaryHeap::with_capacity(count + 1);
+        self.scan_valid(machine, |idx, r| {
+            let cand = (r, idx);
             if heap.len() < count {
-                heap.push(r);
-            } else if r < *heap.peek().expect("non-empty") {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("non-empty") {
                 heap.pop();
-                heap.push(r);
+                heap.push(cand);
             }
         })?;
         let batch = heap.into_sorted_vec();
         if batch.is_empty() {
-            return Ok(batch);
+            return Ok(Vec::new());
         }
         let x = *batch.last().expect("non-empty");
         let i = self.appended.saturating_sub(1);
@@ -159,7 +179,7 @@ impl BetaSet {
             self.max = None;
         }
         self.extractions += 1;
-        Ok(batch)
+        Ok(batch.into_iter().map(|(r, _)| r).collect())
     }
 
     /// Rebuild: rewrite only the valid records densely, clear the pair list
@@ -207,12 +227,21 @@ impl AemPriorityQueue {
             machine,
             k,
             alpha: BTreeSet::new(),
+            alpha_seq: 0,
             alpha_cap,
             beta,
             tree,
             len: 0,
             _alpha_lease: alpha_lease,
         })
+    }
+
+    /// Insert into α under a fresh sequence (duplicate records stay
+    /// distinct; the sequence never leaves the set).
+    fn alpha_insert(&mut self, r: Record) {
+        let seq = self.alpha_seq;
+        self.alpha_seq += 1;
+        self.alpha.insert((r, seq));
     }
 
     /// Records currently queued.
@@ -234,16 +263,15 @@ impl AemPriorityQueue {
     /// O((1/B)(1+log_{kM/B} n)) writes, Theorem 4.10).
     pub fn insert(&mut self, r: Record) -> Result<()> {
         self.len += 1;
-        let alpha_max = self.alpha.last().copied();
+        let alpha_max = self.alpha.last().map(|&(rec, _)| rec);
         let everything_small = self.beta.valid == 0 && self.tree.is_empty();
         if alpha_max.map_or(everything_small, |am| r < am)
             || (everything_small && !self.alpha_is_full())
         {
             // r belongs in (or below) the α range.
-            self.alpha.insert(r);
+            self.alpha_insert(r);
             if self.alpha.len() > self.alpha_cap {
-                let evicted = *self.alpha.last().expect("non-empty");
-                self.alpha.remove(&evicted);
+                let (evicted, _) = self.alpha.pop_last().expect("non-empty");
                 self.beta_insert(evicted)?;
             }
             return Ok(());
@@ -290,8 +318,7 @@ impl AemPriorityQueue {
 
     /// Remove and return the smallest record.
     pub fn delete_min(&mut self) -> Result<Option<Record>> {
-        if let Some(&min) = self.alpha.first() {
-            self.alpha.remove(&min);
+        if let Some((min, _)) = self.alpha.pop_first() {
             self.len -= 1;
             return Ok(Some(min));
         }
@@ -306,14 +333,14 @@ impl AemPriorityQueue {
             let lease = self.machine.m() / 4;
             let batch = self.beta.extract_smallest(&self.machine, count, lease)?;
             for r in batch {
-                self.alpha.insert(r);
+                self.alpha_insert(r);
             }
             if self.beta.extractions >= self.k {
                 self.beta.rebuild(&self.machine)?;
             }
         }
         match self.alpha.pop_first() {
-            Some(min) => {
+            Some((min, _)) => {
                 self.len -= 1;
                 Ok(Some(min))
             }
@@ -330,11 +357,11 @@ impl AemPriorityQueue {
         if self.alpha.is_empty() && self.len > 0 {
             // Force a refill by borrowing delete-min's machinery.
             if let Some(min) = self.delete_min()? {
-                self.alpha.insert(min);
+                self.alpha_insert(min);
                 self.len += 1;
             }
         }
-        Ok(self.alpha.first().copied())
+        Ok(self.alpha.first().map(|&(rec, _)| rec))
     }
 }
 
@@ -391,6 +418,71 @@ mod tests {
         // Drain and compare the rest.
         while let Some(expect) = reference.pop_first() {
             assert_eq!(pq.delete_min().unwrap(), Some(expect));
+        }
+        assert_eq!(pq.delete_min().unwrap(), None);
+    }
+
+    #[test]
+    fn all_identical_stream_is_preserved() {
+        // Every α/β/tree hand-off is exercised with nothing but twins: the
+        // old record-keyed α set collapsed them and β's record-keyed
+        // invalidation pairs deleted unextracted copies.
+        let em = machine(16, 2, 1);
+        let mut pq = AemPriorityQueue::new(em, 1).unwrap();
+        let r = Record::new(42, 42);
+        for _ in 0..1200 {
+            pq.insert(r).unwrap();
+        }
+        assert_eq!(pq.len(), 1200);
+        let mut drained = 0usize;
+        while let Some(got) = pq.delete_min().unwrap() {
+            assert_eq!(got, r);
+            drained += 1;
+        }
+        assert_eq!(drained, 1200, "records lost");
+    }
+
+    #[test]
+    fn interleaved_duplicate_ops_match_multiset_reference() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeMap;
+        let em = machine(16, 2, 2);
+        let mut pq = AemPriorityQueue::new(em, 2).unwrap();
+        // Multiset reference: record -> live count (the BTreeSet reference
+        // of the unique-record test would collapse duplicates).
+        let mut reference: BTreeMap<Record, usize> = BTreeMap::new();
+        let mut ref_len = 0usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xDDD);
+        for _ in 0..4000 {
+            if rng.gen_bool(0.65) || ref_len == 0 {
+                // ~90% duplicates: keys from a tiny alphabet, payload 0.
+                let r = Record::new(rng.gen_range(0..12), 0);
+                pq.insert(r).unwrap();
+                *reference.entry(r).or_insert(0) += 1;
+                ref_len += 1;
+            } else {
+                let got = pq.delete_min().unwrap();
+                let expect = reference.first_key_value().map(|(&r, _)| r);
+                assert_eq!(got, expect);
+                if let Some(r) = expect {
+                    let count = reference.get_mut(&r).unwrap();
+                    *count -= 1;
+                    if *count == 0 {
+                        reference.remove(&r);
+                    }
+                    ref_len -= 1;
+                }
+            }
+            assert_eq!(pq.len(), ref_len);
+        }
+        // Drain and compare the rest.
+        while let Some((&r, _)) = reference.first_key_value() {
+            assert_eq!(pq.delete_min().unwrap(), Some(r));
+            let count = reference.get_mut(&r).unwrap();
+            *count -= 1;
+            if *count == 0 {
+                reference.remove(&r);
+            }
         }
         assert_eq!(pq.delete_min().unwrap(), None);
     }

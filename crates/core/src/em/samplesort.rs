@@ -97,6 +97,25 @@ fn sort_rec(
     splitters.free(machine);
     input.free(machine);
     for bucket in buckets {
+        if bucket.len() == n {
+            // The partition made no progress: every record landed in one
+            // bucket. On duplicate-heavy inputs (e.g. all records identical)
+            // this repeats forever — every sample yields the same splitter
+            // and the same single bucket — so hand the bucket to the
+            // mergesort, whose `(Record, seq)` merge discipline handles
+            // duplicates, and stream its output into the shared writer.
+            // With unique records an adequately sized sample always leaves
+            // the overflow bucket nonempty, so this path stays cold there
+            // and the frozen unique-input cost goldens are unaffected.
+            let sorted = aem_mergesort_opts(machine, bucket, k, MergeOpts::default())?;
+            let mut reader = sorted.reader(machine)?;
+            while let Some(r) = reader.next() {
+                out.push(r);
+            }
+            drop(reader);
+            sorted.free(machine);
+            continue;
+        }
         sort_rec(machine, bucket, k, n0, rng, out)?;
     }
     Ok(())
@@ -375,6 +394,25 @@ mod tests {
             w4 < w1,
             "k=4 should write fewer blocks than classic k=1: {w4} vs {w1}"
         );
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_sort_without_losing_records() {
+        let (m, b, k) = (32usize, 4usize, 2usize);
+        let em = machine(m, b, 8, k);
+        // All-identical inputs used to recurse forever: every sample yields
+        // one splitter equal to the sole record and one full-size bucket.
+        let identical = vec![Record::new(3, 3); 600];
+        // 90%-duplicate keys over a tiny alphabet.
+        let few_distinct: Vec<Record> = (0..600).map(|i| Record::new(i % 7, i % 2)).collect();
+        for input in [identical, few_distinct] {
+            let v = EmVec::stage(&em, &input);
+            let sorted = aem_samplesort(&em, v, k, &mut rng(21)).unwrap();
+            let out = sorted.read_all_uncharged(&em);
+            assert_eq!(out.len(), input.len(), "records lost");
+            assert_sorted_permutation(&input, &out);
+            sorted.free(&em);
+        }
     }
 
     #[test]

@@ -45,25 +45,33 @@ pub fn selection_sort_into(
     // The candidate set occupies M records of primary memory for the whole
     // sort; the reader and writer each lease a block themselves.
     let _set_lease = machine.lease(m)?;
-    let mut last_written: Option<Record> = None;
+    // Candidates are keyed `(Record, scan index)`: the scan order is the
+    // same every pass, so the index is a stable tie-break that keeps
+    // duplicate records distinguishable — comparing raw records would skip
+    // every twin of a written record (`r <= last_written`) and lose it.
+    // On unique inputs the index never decides a comparison.
+    let mut last_written: Option<(Record, usize)> = None;
     let mut remaining = n;
 
     while remaining > 0 {
-        // One pass: collect the M smallest records above `last_written`.
+        // One pass: collect the M smallest candidates above `last_written`.
         // BinaryHeap is a max-heap: peek() is the current M-th smallest.
-        let mut heap: BinaryHeap<Record> = BinaryHeap::with_capacity(m + 1);
+        let mut heap: BinaryHeap<(Record, usize)> = BinaryHeap::with_capacity(m + 1);
         let mut reader = input.reader(machine)?;
+        let mut idx = 0usize;
         while let Some(r) = reader.next() {
+            let cand = (r, idx);
+            idx += 1;
             if let Some(lw) = last_written {
-                if r <= lw {
+                if cand <= lw {
                     continue;
                 }
             }
             if heap.len() < m {
-                heap.push(r);
-            } else if r < *heap.peek().expect("heap non-empty") {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("heap non-empty") {
                 heap.pop();
-                heap.push(r);
+                heap.push(cand);
             }
         }
         drop(reader);
@@ -72,7 +80,7 @@ pub fn selection_sort_into(
         debug_assert!(!batch.is_empty(), "remaining records must be found");
         last_written = batch.last().copied();
         remaining -= batch.len();
-        for r in batch.drain(..) {
+        for (r, _) in batch.drain(..) {
             writer.push(r);
         }
     }
@@ -144,6 +152,26 @@ mod tests {
         assert_eq!(s.block_reads, 60u64.div_ceil(8));
         assert_eq!(s.block_writes, 60u64.div_ceil(8));
         assert_sorted_permutation(&input, &sorted.read_all_uncharged(&em));
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs_keep_every_record() {
+        let em = machine(16, 4, 8);
+        // All-identical: the old record-keyed discipline skipped every twin
+        // of the first written record and never found the rest (multi-pass
+        // inputs spun in the `remaining > 0` loop).
+        let identical = vec![Record::new(9, 9); 60];
+        // 90%-duplicate: a handful of distinct records, heavily repeated.
+        let few_distinct: Vec<Record> = (0..60).map(|i| Record::new(i % 6, i % 3)).collect();
+        for input in [identical, few_distinct] {
+            let v = EmVec::stage(&em, &input);
+            let sorted = selection_sort(&em, &v, 4).unwrap();
+            let out = sorted.read_all_uncharged(&em);
+            assert_eq!(out.len(), input.len(), "records lost");
+            assert_sorted_permutation(&input, &out);
+            sorted.free(&em);
+            v.free(&em);
+        }
     }
 
     #[test]

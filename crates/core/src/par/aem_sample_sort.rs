@@ -31,10 +31,11 @@
 //!    many lanes participate.
 //! 5. **bucket-sort** (owner lanes): buckets that fit in a lane's primary
 //!    memory are read (charged), sorted in memory (free RAM ops), and
-//!    written back (charged); oversized buckets that arrived in order
-//!    (degenerate skew) are stream-copied, and the rest run the serial AEM
-//!    mergesort on the owner's machine — deterministic, so transfer counts
-//!    depend only on the bucket, never on the lane layout.
+//!    written back (charged); oversized buckets — including the
+//!    duplicate-heavy degenerate-skew case — run the serial AEM mergesort
+//!    on the owner's machine, whose `(Record, provenance)` merge keys
+//!    handle duplicates exactly. Deterministic, so transfer counts depend
+//!    only on the bucket, never on the lane layout.
 //!
 //! Phases are barriers: per-lane transfer deltas become
 //! [`Cost`] strands, a phase is their parallel composition (depth maxes),
@@ -315,24 +316,19 @@ pub(crate) fn par_sample_sort_run(
     for (w, (_, chunk)) in chunks.into_iter().enumerate() {
         chunk.free(par.lane(w));
     }
-    let mut runs: Vec<(usize, bool, EmVec)> = Vec::with_capacity(buckets);
+    let mut runs: Vec<(usize, EmVec)> = Vec::with_capacity(buckets);
     for (j, data) in bucket_data.into_iter().enumerate() {
         let owner = j % p;
         let lane = par.lane(owner);
-        // Noting whether the bucket arrived already in order is free RAM
-        // work on records the exchange holds in memory anyway; phase 5 uses
-        // it to skip sorting degenerate-skew buckets. A property of the
-        // bucket, so it cannot depend on the lane count.
-        let already_sorted = data.windows(2).all(|w| w[0] <= w[1]);
         let mut writer = EmWriter::new(lane)?;
         writer.extend(data);
-        runs.push((owner, already_sorted, writer.finish()));
+        runs.push((owner, writer.finish()));
     }
     log.barrier("exchange");
 
     // Phase 5 — bucket-sort on the owner lanes.
     let mut sorted_runs: Vec<(usize, EmVec)> = Vec::with_capacity(runs.len());
-    for (owner, already_sorted, run) in runs {
+    for (owner, run) in runs {
         let lane = par.lane(owner);
         if run.len() <= m {
             // In-memory: read the bucket under a full lease, sort with free
@@ -345,25 +341,13 @@ pub(crate) fn par_sample_sort_run(
             writer.extend(data);
             drop(lease);
             sorted_runs.push((owner, writer.finish()));
-        } else if already_sorted {
-            // Degenerate skew: a bucket whose records arrived already in
-            // order (e.g. every record equal, the all-duplicates adversary)
-            // needs no sort — stream-copy it block by block.
-            let mut writer = EmWriter::new(lane)?;
-            {
-                let mut reader = run.reader(lane)?;
-                while let Some(r) = reader.next() {
-                    writer.push(r);
-                }
-            }
-            run.free(lane);
-            sorted_runs.push((owner, writer.finish()));
         } else {
             // Oversized (skew): the serial write-efficient mergesort on the
             // owner's machine; deterministic, so its costs depend only on
-            // the bucket content. Inherits the repo-wide record convention:
-            // `(key, payload)` pairs are unique (duplicates share keys, not
-            // payloads), which the merge queue's `lastV` discipline needs.
+            // the bucket content. Its `(Record, provenance)` merge keys make
+            // duplicate-heavy buckets — up to every record equal, the
+            // all-duplicates adversary — sort exactly, so degenerate skew
+            // needs no special casing here.
             sorted_runs.push((
                 owner,
                 aem_mergesort_opts(lane, run, k, MergeOpts::default())?,

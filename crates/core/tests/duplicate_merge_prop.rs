@@ -1,0 +1,92 @@
+//! Property battery for duplicate-safe merging: random streams with
+//! arbitrary duplication (tiny key/payload spaces force heavy repetition)
+//! must sort identically under the `(Record, seq)`-keyed [`FlatMergeQueue`]
+//! discipline and a stable RAM reference, preserving every record.
+
+use asym_core::em::FlatMergeQueue;
+use asym_core::sort::{self, Algorithm, SortSpec};
+use asym_model::Record;
+use proptest::prelude::*;
+
+/// Records drawn from a tiny space: with 4 keys × 3 payloads over up to 600
+/// draws, duplicate records are the norm, not the exception.
+fn duplicate_stream() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        (0u64..4, 0u64..3).prop_map(|(k, p)| Record::new(k, p)),
+        0..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tagging each stream element with its position gives the queue a
+    /// strict total order; draining mins must reproduce the stable sort
+    /// (equal records in stream order) without losing a single record.
+    #[test]
+    fn queue_drain_matches_stable_sort(stream in duplicate_stream()) {
+        let cap = stream.len().max(1);
+        let mut q: FlatMergeQueue<(Record, u64), u32> = FlatMergeQueue::with_capacity(cap);
+        for (i, &r) in stream.iter().enumerate() {
+            q.push((r, i as u64), 0);
+        }
+        let mut drained = Vec::with_capacity(stream.len());
+        while let Some(((r, _), _)) = q.pop_min() {
+            drained.push(r);
+        }
+        let mut expect = stream.clone();
+        expect.sort(); // std stable sort: the reference
+        prop_assert_eq!(drained.len(), stream.len(), "records lost in the queue");
+        prop_assert_eq!(drained, expect);
+    }
+
+    /// Draining from both ends must still account for every record and
+    /// reassemble into the same stable order.
+    #[test]
+    fn two_ended_drain_preserves_every_record(
+        stream in duplicate_stream(),
+        take_max in prop::collection::vec(any::<bool>(), 0..600),
+    ) {
+        let cap = stream.len().max(1);
+        let mut q: FlatMergeQueue<(Record, u64), u32> = FlatMergeQueue::with_capacity(cap);
+        for (i, &r) in stream.iter().enumerate() {
+            q.push((r, i as u64), 0);
+        }
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        let mut flips = take_max.iter().cycle();
+        while !q.is_empty() {
+            if *flips.next().expect("cycle") && !q.is_empty() {
+                hi.push(q.pop_max().expect("non-empty").0);
+            } else {
+                lo.push(q.pop_min().expect("non-empty").0);
+            }
+        }
+        hi.reverse();
+        lo.extend(hi);
+        let keys: Vec<(Record, u64)> = lo;
+        prop_assert_eq!(keys.len(), stream.len(), "records lost in the queue");
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]), "drain must be strictly ordered");
+        let mut expect = stream.clone();
+        expect.sort();
+        let recs: Vec<Record> = keys.into_iter().map(|(r, _)| r).collect();
+        prop_assert_eq!(recs, expect);
+    }
+
+    /// End-to-end: the full AEM mergesort (rounds of the bounded queue with
+    /// the bar/`last_v` discipline) on arbitrarily duplicated streams equals
+    /// the stable reference and preserves the length.
+    #[test]
+    fn aem_mergesort_matches_stable_sort(stream in duplicate_stream(), k in 1usize..4) {
+        let spec = SortSpec::builder(Algorithm::Mergesort, 16, 4, 8)
+            .k(k)
+            .seed(0)
+            .build()
+            .expect("valid spec");
+        let outcome = sort::run(&spec, &stream).expect("mergesort");
+        let mut expect = stream.clone();
+        expect.sort();
+        prop_assert_eq!(outcome.output.len(), stream.len(), "records lost in the sort");
+        prop_assert_eq!(outcome.output, expect);
+    }
+}

@@ -8,8 +8,10 @@
 //! update a globally monotonic sequence number and stores index entries as
 //! the workspace's fixed 16-byte [`Record`]s — `key` is the user key,
 //! `payload` is the sequence number — so runs sort on the existing
-//! machinery unchanged and every record is unique (the serial merge's
-//! convention). Values (and tombstones) live in an in-memory value log
+//! machinery unchanged (the sorters also handle duplicate records exactly,
+//! but sequence numbers keep index entries distinct anyway, which the
+//! engine itself relies on for seqno-indexed value-log lookups). Values
+//! (and tombstones) live in an in-memory value log
 //! indexed by sequence number; within any set of entries for one key, the
 //! largest sequence number is the live one.
 //!

@@ -1,10 +1,14 @@
 //! The record type being sorted.
 //!
 //! The paper sorts "n records each containing a key" and assumes keys are
-//! unique ("a position index can always be added to make them unique"). We
-//! mirror that: a [`Record`] is a `u64` key plus a `u64` payload; workload
-//! generators produce unique keys by construction or by tie-breaking with the
-//! position index.
+//! unique ("a position index can always be added to make them unique"). A
+//! [`Record`] is a `u64` key plus a `u64` payload; the standard workload
+//! generators (`Workload::ALL`) mirror the paper's convention by making every
+//! record distinct via the position index. The sorters themselves no longer
+//! rely on it: duplicate records — equal key *and* payload — are handled
+//! exactly by tagging each in-flight record with provenance (run index and
+//! offset, or scan index) so comparisons stay strict; the duplicate-adversary
+//! workloads (`Workload::DUPLICATE_ADVERSARIES`) exercise that path.
 
 /// Largest key value generators will produce (reserving the top value lets
 /// algorithms use `u64::MAX` as a +infinity sentinel).
@@ -13,9 +17,9 @@ pub const MAX_KEY: u64 = u64::MAX - 1;
 /// A sortable record: an ordering key and an opaque payload.
 ///
 /// `Record` is `Copy` and 16 bytes, so counted moves of records model what a
-/// real sorter would move. Ordering is by key, then payload (keys from the
-/// generators are unique, so the payload tie-break never fires there, but it
-/// makes the ordering total for property tests that inject duplicates).
+/// real sorter would move. Ordering is by key, then payload. Equal records
+/// (same key and payload) are legal inputs everywhere: sorters that need a
+/// strict total order add their own provenance tie-break internally.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Record {
     /// The comparison key.

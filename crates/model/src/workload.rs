@@ -35,10 +35,22 @@ pub enum Workload {
     Zipf,
     /// Organ pipe: ascending then descending.
     OrganPipe,
+    /// Every record byte-identical (key and payload): the worst-case
+    /// duplicate adversary. Unlike the [`Workload::ALL`] generators, payloads
+    /// are *not* rewritten to positions — the duplicates are real.
+    AllIdentical,
+    /// ~90% duplicates: `max(1, n/10)` distinct records, each drawn with
+    /// replacement, payloads equal among twins (real duplicates).
+    DuplicateHeavy,
 }
 
 impl Workload {
-    /// All generator variants (handy for exhaustive test loops).
+    /// All unique-record generator variants (handy for exhaustive test
+    /// loops). The duplicate adversaries are deliberately *not* in this list:
+    /// many harnesses compare against references that assume distinct
+    /// records (e.g. the RAM red-black tree sort, whose set semantics drop
+    /// duplicates) — they opt into [`Workload::DUPLICATE_ADVERSARIES`]
+    /// explicitly.
     pub const ALL: [Workload; 7] = [
         Workload::UniformRandom,
         Workload::Sorted,
@@ -48,6 +60,11 @@ impl Workload {
         Workload::Zipf,
         Workload::OrganPipe,
     ];
+
+    /// The duplicate-record adversaries: inputs with repeated `(key,
+    /// payload)` pairs that stress the sorters' tie handling.
+    pub const DUPLICATE_ADVERSARIES: [Workload; 2] =
+        [Workload::AllIdentical, Workload::DuplicateHeavy];
 
     /// Short stable name used in table output.
     pub fn name(&self) -> &'static str {
@@ -59,16 +76,31 @@ impl Workload {
             Workload::FewDistinct => "few-distinct",
             Workload::Zipf => "zipf",
             Workload::OrganPipe => "organ-pipe",
+            Workload::AllIdentical => "all-identical",
+            Workload::DuplicateHeavy => "duplicate-heavy",
         }
     }
 
     /// Parse a generator from its [`Workload::name`] (job descriptions
-    /// arriving over the wire name their input distribution).
+    /// arriving over the wire name their input distribution). Covers the
+    /// duplicate adversaries too, so jobs can request them.
     pub fn parse(name: &str) -> Option<Workload> {
-        Workload::ALL.into_iter().find(|wl| wl.name() == name)
+        Workload::ALL
+            .into_iter()
+            .chain(Workload::DUPLICATE_ADVERSARIES)
+            .find(|wl| wl.name() == name)
     }
 
-    /// Generate `n` records with payload = original index.
+    /// True for the [`Workload::ALL`] generators, whose records are made
+    /// distinct by rewriting payloads to positions; false for the duplicate
+    /// adversaries, which keep their repeated records.
+    pub fn unique_records(&self) -> bool {
+        !matches!(self, Workload::AllIdentical | Workload::DuplicateHeavy)
+    }
+
+    /// Generate `n` records. For the [`Workload::ALL`] generators the
+    /// payload is the original index (making every record distinct); the
+    /// duplicate adversaries skip that rewrite so their duplicates survive.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Record> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
         let mut out: Vec<Record> = match self {
@@ -117,11 +149,27 @@ impl Workload {
                 keys.extend((0..(n - half) as u64).rev());
                 keys.into_iter().map(Record::keyed).collect()
             }
+            Workload::AllIdentical => {
+                let key = rng.gen_range(0..=MAX_KEY);
+                vec![Record::new(key, key); n]
+            }
+            Workload::DuplicateHeavy => {
+                let distinct = (n / 10).max(1) as u64;
+                (0..n)
+                    .map(|_| {
+                        let d = rng.gen_range(0..distinct);
+                        Record::new(d, d)
+                    })
+                    .collect()
+            }
         };
-        // Payload = original position, which also makes all records distinct
-        // (the paper's uniqueness-by-index convention).
-        for (i, r) in out.iter_mut().enumerate() {
-            r.payload = i as u64;
+        // Payload = original position, which makes all records distinct (the
+        // paper's uniqueness-by-index convention) — except for the duplicate
+        // adversaries, whose whole point is repeated records.
+        if self.unique_records() {
+            for (i, r) in out.iter_mut().enumerate() {
+                r.payload = i as u64;
+            }
         }
         out
     }
@@ -164,7 +212,10 @@ mod tests {
 
     #[test]
     fn names_parse_back_to_their_generator() {
-        for wl in Workload::ALL {
+        for wl in Workload::ALL
+            .into_iter()
+            .chain(Workload::DUPLICATE_ADVERSARIES)
+        {
             assert_eq!(Workload::parse(wl.name()), Some(wl));
         }
         assert_eq!(Workload::parse("gaussian"), None);
@@ -172,7 +223,10 @@ mod tests {
 
     #[test]
     fn generators_produce_requested_length() {
-        for wl in Workload::ALL {
+        for wl in Workload::ALL
+            .into_iter()
+            .chain(Workload::DUPLICATE_ADVERSARIES)
+        {
             for n in [0usize, 1, 2, 17, 256] {
                 let v = wl.generate(n, 42);
                 assert_eq!(v.len(), n, "{} length", wl.name());
@@ -182,7 +236,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        for wl in Workload::ALL {
+        for wl in Workload::ALL
+            .into_iter()
+            .chain(Workload::DUPLICATE_ADVERSARIES)
+        {
             let a = wl.generate(100, 7);
             let b = wl.generate(100, 7);
             let c = wl.generate(100, 8);
@@ -239,6 +296,28 @@ mod tests {
         let v = Workload::OrganPipe.generate(10, 0);
         let keys: Vec<u64> = v.iter().map(|r| r.key).collect();
         assert_eq!(keys, vec![0, 1, 2, 3, 4, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn all_identical_records_really_are_identical() {
+        let v = Workload::AllIdentical.generate(500, 11);
+        assert!(v.windows(2).all(|w| w[0] == w[1]));
+        assert!(!v.is_empty() && v[0].key <= MAX_KEY);
+        assert!(!Workload::AllIdentical.unique_records());
+    }
+
+    #[test]
+    fn duplicate_heavy_is_mostly_duplicates() {
+        let v = Workload::DuplicateHeavy.generate(1000, 11);
+        let mut set = v.clone();
+        set.sort_unstable();
+        set.dedup();
+        assert!(
+            set.len() <= v.len() / 10,
+            "expected <= n/10 distinct records, got {}",
+            set.len()
+        );
+        assert!(!Workload::DuplicateHeavy.unique_records());
     }
 
     #[test]

@@ -19,8 +19,13 @@ use rand::SeedableRng;
 /// One golden measurement: (block_reads, block_writes, peak_memory).
 type Golden = (u64, u64, usize);
 
-fn measure(em: &EmMachine, sort: impl FnOnce(&EmMachine, EmVec) -> EmVec, n: usize) -> Golden {
-    let input = Workload::UniformRandom.generate(n, 0x60_1D);
+fn measure_wl(
+    em: &EmMachine,
+    sort: impl FnOnce(&EmMachine, EmVec) -> EmVec,
+    wl: Workload,
+    n: usize,
+) -> Golden {
+    let input = wl.generate(n, 0x60_1D);
     let v = EmVec::stage(em, &input);
     em.reset_stats();
     let sorted = sort(em, v);
@@ -29,26 +34,49 @@ fn measure(em: &EmMachine, sort: impl FnOnce(&EmMachine, EmVec) -> EmVec, n: usi
     (s.block_reads, s.block_writes, s.peak_memory)
 }
 
-fn mergesort_golden(m: usize, b: usize, k: usize, n: usize) -> Golden {
+fn mergesort_golden_wl(m: usize, b: usize, k: usize, wl: Workload, n: usize) -> Golden {
     let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(mergesort_slack(m, b, k)));
-    measure(&em, |em, v| aem_mergesort(em, v, k).expect("mergesort"), n)
+    measure_wl(
+        &em,
+        |em, v| aem_mergesort(em, v, k).expect("mergesort"),
+        wl,
+        n,
+    )
 }
 
-fn samplesort_golden(m: usize, b: usize, k: usize, n: usize) -> Golden {
+fn mergesort_golden(m: usize, b: usize, k: usize, n: usize) -> Golden {
+    mergesort_golden_wl(m, b, k, Workload::UniformRandom, n)
+}
+
+fn samplesort_golden_wl(m: usize, b: usize, k: usize, wl: Workload, n: usize) -> Golden {
     let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(samplesort_slack(m, b, k)));
-    measure(
+    measure_wl(
         &em,
         |em, v| {
             let mut rng = StdRng::seed_from_u64(0xE5);
             aem_samplesort(em, v, k, &mut rng).expect("samplesort")
         },
+        wl,
+        n,
+    )
+}
+
+fn samplesort_golden(m: usize, b: usize, k: usize, n: usize) -> Golden {
+    samplesort_golden_wl(m, b, k, Workload::UniformRandom, n)
+}
+
+fn heapsort_golden_wl(m: usize, b: usize, k: usize, wl: Workload, n: usize) -> Golden {
+    let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
+    measure_wl(
+        &em,
+        |em, v| aem_heapsort(em, v, k).expect("heapsort"),
+        wl,
         n,
     )
 }
 
 fn heapsort_golden(m: usize, b: usize, k: usize, n: usize) -> Golden {
-    let em = EmMachine::new(EmConfig::new(m, b, 8).with_slack(pq_slack(m, b, k)));
-    measure(&em, |em, v| aem_heapsort(em, v, k).expect("heapsort"), n)
+    heapsort_golden_wl(m, b, k, Workload::UniformRandom, n)
 }
 
 #[test]
@@ -71,4 +99,43 @@ fn e6_heapsort_costs_are_frozen() {
     // (M, B, ω) = (16, 2, 8), n = 800, buffer-tree priority queue.
     assert_eq!(heapsort_golden(16, 2, 1, 800), (5561, 5096, 24), "E6 k=1");
     assert_eq!(heapsort_golden(16, 2, 2, 800), (6670, 4424, 24), "E6 k=2");
+}
+
+#[test]
+fn duplicate_input_costs_are_frozen() {
+    // The duplicate adversaries get their own frozen triples: the provenance
+    // tie-break makes these runs correct, and these goldens pin their costs
+    // the same way the unique-input goldens above pin theirs. Captured from
+    // the first duplicate-safe implementation; same geometries as E3/E5/E6.
+    use Workload::{AllIdentical, DuplicateHeavy};
+    assert_eq!(
+        mergesort_golden_wl(32, 4, 2, AllIdentical, 500),
+        (258, 250, 56),
+        "E3 k=2 all-identical"
+    );
+    assert_eq!(
+        mergesort_golden_wl(32, 4, 2, DuplicateHeavy, 500),
+        (418, 250, 56),
+        "E3 k=2 duplicate-heavy"
+    );
+    assert_eq!(
+        samplesort_golden_wl(32, 4, 2, AllIdentical, 600),
+        (1226, 767, 59),
+        "E5 k=2 all-identical"
+    );
+    assert_eq!(
+        samplesort_golden_wl(32, 4, 2, DuplicateHeavy, 600),
+        (1294, 770, 52),
+        "E5 k=2 duplicate-heavy"
+    );
+    assert_eq!(
+        heapsort_golden_wl(16, 2, 2, AllIdentical, 800),
+        (5290, 4024, 24),
+        "E6 k=2 all-identical"
+    );
+    assert_eq!(
+        heapsort_golden_wl(16, 2, 2, DuplicateHeavy, 800),
+        (6638, 4493, 24),
+        "E6 k=2 duplicate-heavy"
+    );
 }

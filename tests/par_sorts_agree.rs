@@ -88,10 +88,16 @@ fn adversarial_inputs_agree_across_lane_counts() {
             (0..n as u64).map(|i| Record::new(42, i)).collect(),
         ),
         (
-            // Truly identical records: exercises the degenerate-skew
-            // stream-copy path (one all-equal bucket).
+            // Truly identical records: one all-equal oversized bucket pushed
+            // through the serial merge's provenance-keyed discipline.
             "all-identical",
             vec![Record::new(7, 7); n],
+        ),
+        (
+            // ~90% duplicates: a handful of distinct records, each heavily
+            // repeated, so every bucket boundary lands inside a twin run.
+            "duplicate-heavy",
+            Workload::DuplicateHeavy.generate(n, 6),
         ),
     ];
     for (name, input) in &cases {

@@ -12,6 +12,7 @@ use asym_model::record::assert_sorted_permutation;
 use asym_model::workload::Workload;
 use asym_model::Record;
 use cache_sim::{SimArray, Tracker};
+use em_sim::Backend;
 use rand::SeedableRng;
 
 fn all_inputs() -> Vec<(String, Vec<Record>)> {
@@ -79,6 +80,62 @@ fn every_registered_aem_sort_agrees() {
                     .run(&spec, &input)
                     .unwrap_or_else(|e| panic!("{name} via {}: {e}", sorter.name()));
                 assert_sorted_permutation(&input, &outcome.output);
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_adversaries_agree_on_every_registered_sorter() {
+    // The duplicate battery: all-identical and 90%-duplicate inputs through
+    // every registry sorter, on both backends, across lane counts for the
+    // parallel sort. Output must be byte-identical to the RAM stable sort
+    // (duplicates make "sorted permutation" too weak a check on its own),
+    // and for the parallel sort the merged write totals must not depend on
+    // the lane count.
+    for sorter in sorters() {
+        let lane_set: &[usize] = if sorter.kind().is_parallel() {
+            &[1, 2, 4, 8]
+        } else {
+            &[1]
+        };
+        for wl in Workload::DUPLICATE_ADVERSARIES {
+            for n in [257usize, 1000] {
+                let input = wl.generate(n, 0xBEEF);
+                let mut expect = input.clone();
+                expect.sort(); // std stable sort: the RAM reference
+                for backend in [Backend::Mem, Backend::File] {
+                    let mut write_total: Option<u64> = None;
+                    for &lanes in lane_set {
+                        let (m, b) = match sorter.kind() {
+                            Algorithm::Heapsort => (16usize, 2usize),
+                            _ => (32usize, 4usize),
+                        };
+                        let spec = SortSpec::builder(sorter.kind(), m, b, 8)
+                            .k(2)
+                            .lanes(lanes)
+                            .seed(2)
+                            .backend(backend)
+                            .build()
+                            .expect("valid spec");
+                        let ctx = format!(
+                            "{}:{n} via {} ({backend:?}, {lanes} lanes)",
+                            wl.name(),
+                            sorter.name()
+                        );
+                        let outcome = sorter
+                            .run(&spec, &input)
+                            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                        assert_eq!(outcome.output, expect, "{ctx}: output differs");
+                        match write_total {
+                            None => write_total = Some(outcome.stats.block_writes),
+                            Some(w) => assert_eq!(
+                                outcome.stats.block_writes, w,
+                                "{ctx}: write total not lane-invariant"
+                            ),
+                        }
+                    }
+                }
             }
         }
     }
