@@ -124,6 +124,14 @@ pub fn aem_mergesort_opts(
     Ok(out)
 }
 
+/// Merge already-sorted runs staged on `machine` with the Lemma 4.1 l-way
+/// merge — the staged/checkpointed executor's merge-round engine
+/// (`sort::checkpoint`). The input runs are left live; the caller frees
+/// them. Requires `runs.len() <= kM/B`.
+pub(crate) fn merge_sorted_runs(machine: &EmMachine, runs: &[EmVec], k: usize) -> Result<EmVec> {
+    merge_runs(machine, runs, k, MergeOpts::default())
+}
+
 /// Queue entry bookkeeping: which run a record came from, and whether it was
 /// the last record of its block (the paper's "mark").
 #[derive(Clone, Copy, Debug)]

@@ -1,0 +1,696 @@
+//! Phase-boundary checkpoint/resume for staged sort runs.
+//!
+//! A staged run decomposes one sort job into a deterministic sequence of
+//! phases computed from `(spec, n)` alone ([`StagePlan`]): the input is
+//! cut into block-aligned chunks, each chunk phase sorts one chunk with
+//! the spec's registered sorter, then merge-round phases fold the sorted
+//! runs `l = kM/B` at a time with the Lemma 4.1 merge until one run
+//! survives. After every completed phase the executor hands a versioned
+//! [`CheckpointManifest`] — phase counter, surviving run layout,
+//! cumulative [`EmStats`], input digest — to a [`Checkpointer`] sink;
+//! `asym-serve` appends it to its audit WAL as a `checkpointed` event, so
+//! the manifest is durable the moment the phase's writes are.
+//!
+//! [`resume_from`] verifies the digest, rebuilds the machine state from
+//! the manifest's surviving runs (restaged uncharged — their writes were
+//! paid, and recorded, by the prefix), and continues from the first
+//! incomplete phase. Phases are deterministic in `(spec, input)` and the
+//! cumulative fold is associative (reads/writes add, peaks max), so the
+//! modeled cost of `resume ⊕ prefix` is bit-identical to an uninterrupted
+//! staged run — that equality is the paper's "writes are the expensive
+//! resource" argument turned into a recovery property: work already
+//! written is never re-written. `tests/checkpoint_resume.rs` pins it for
+//! every registry sorter; the serve chaos harness's "never redo paid
+//! writes" gate builds on it.
+//!
+//! Staged execution is a different (checkpointable) schedule of the same
+//! sort: its output is identical to [`super::run`] (every sorter is a
+//! total order on records), but its modeled costs differ from the
+//! single-shot path's, so [`predict_staged`] prices it — per-chunk
+//! theorem envelopes plus a Lemma 4.1 envelope per merge round.
+
+use super::adapters::{sorter_for, SortOutcome};
+use super::predict::CostEstimate;
+use super::spec::SortSpec;
+use super::wire::WireError;
+use crate::em::mergesort::{merge_sorted_runs, mergesort_slack};
+use asym_model::json::{self, Json, JsonArr, JsonObj};
+use asym_model::{ModelError, Record, Result};
+use em_sim::{EmStats, EmVec};
+
+/// The manifest schema this build writes and the only one it resumes.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// How many chunk phases a staged run aims for: enough that a crash loses
+/// at most ~1/8 of the chunk-sorting work, few enough that manifests stay
+/// small and merge rounds stay shallow.
+const TARGET_CHUNKS: usize = 8;
+
+/// Where checkpoint manifests go. The executor calls [`save`] after every
+/// completed phase (the final one included — a complete manifest makes
+/// resume idempotent and gives write-accounting one event per phase
+/// execution). A failed save fails the phase: a checkpoint the sink never
+/// accepted must not be assumed durable.
+///
+/// [`save`]: Checkpointer::save
+pub trait Checkpointer {
+    /// Persist one manifest.
+    fn save(&mut self, manifest: &CheckpointManifest) -> Result<()>;
+}
+
+/// A [`Checkpointer`] that keeps every manifest in memory — the sink for
+/// tests, reference runs, and embedded callers that manage durability
+/// themselves.
+#[derive(Debug, Default)]
+pub struct MemCheckpointer {
+    /// Every manifest saved, in phase order.
+    pub manifests: Vec<CheckpointManifest>,
+}
+
+impl Checkpointer for MemCheckpointer {
+    fn save(&mut self, manifest: &CheckpointManifest) -> Result<()> {
+        self.manifests.push(manifest.clone());
+        Ok(())
+    }
+}
+
+/// The deterministic phase schedule of one staged run, computed from
+/// `(spec, n)` alone — both sides of a resume derive the identical plan,
+/// so a manifest only needs to say *how many* phases completed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StagePlan {
+    /// Block-aligned `[start, end)` input ranges, one chunk phase each.
+    chunks: Vec<(usize, usize)>,
+    /// Merge fan-in `l = kM/B` for the merge-round phases.
+    fan_in: usize,
+    /// Merge rounds after the chunk phases (each folds groups of
+    /// `fan_in` surviving runs into one).
+    rounds: usize,
+}
+
+impl StagePlan {
+    /// Plan the staged run of `spec` over `n` records.
+    pub fn new(spec: &SortSpec, n: usize) -> StagePlan {
+        let b = spec.b();
+        // The merge always runs serially on one machine, so the serial
+        // fan-in applies to every algorithm (spec validation guarantees
+        // kM/B ≥ M/B ≥ 2).
+        let fan_in = ((spec.k() * spec.m()) / b).max(2);
+        let mut chunks = Vec::new();
+        if n == 0 {
+            chunks.push((0, 0));
+        } else {
+            let chunk = n.div_ceil(TARGET_CHUNKS).max(b).next_multiple_of(b);
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                chunks.push((lo, hi));
+                lo = hi;
+            }
+        }
+        let mut rounds = 0;
+        let mut c = chunks.len();
+        while c > 1 {
+            c = c.div_ceil(fan_in);
+            rounds += 1;
+        }
+        StagePlan {
+            chunks,
+            fan_in,
+            rounds,
+        }
+    }
+
+    /// The chunk phases' input ranges.
+    pub fn chunks(&self) -> &[(usize, usize)] {
+        &self.chunks
+    }
+
+    /// Merge rounds after the chunk phases.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total phases: one per chunk plus one per merge round.
+    pub fn total_phases(&self) -> usize {
+        self.chunks.len() + self.rounds
+    }
+
+    /// Lengths of the surviving runs after `phases_done` completed phases
+    /// — the layout a valid manifest must carry.
+    pub fn layout_after(&self, phases_done: usize) -> Vec<usize> {
+        let c = self.chunks.len();
+        let mut runs: Vec<usize> = self
+            .chunks
+            .iter()
+            .take(phases_done.min(c))
+            .map(|&(lo, hi)| hi - lo)
+            .collect();
+        for _ in c..phases_done {
+            runs = runs
+                .chunks(self.fan_in)
+                .map(|group| group.iter().sum())
+                .collect();
+        }
+        runs
+    }
+}
+
+/// Digest binding a manifest to its job: FNV-1a over the spec's *logical*
+/// fields and the input records. Backend, file directory, and fault
+/// schedule are deliberately excluded — the server re-points those per
+/// attempt, and none of them changes the output or the modeled stats (the
+/// machine charges before it touches the store).
+pub fn input_digest(spec: &SortSpec, input: &[Record]) -> u64 {
+    fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+        for &x in bytes {
+            h ^= x as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, spec.algorithm().name().as_bytes());
+    for v in [
+        spec.m() as u64,
+        spec.b() as u64,
+        spec.omega(),
+        spec.k() as u64,
+        spec.lanes() as u64,
+        spec.seed(),
+        spec.slack() as u64,
+        u64::from(spec.steal_charge()),
+        input.len() as u64,
+    ] {
+        h = fnv1a(h, &v.to_le_bytes());
+    }
+    for r in input {
+        h = fnv1a(h, &r.key.to_le_bytes());
+        h = fnv1a(h, &r.payload.to_le_bytes());
+    }
+    h
+}
+
+/// One phase-boundary snapshot of a staged run: everything a fresh
+/// process needs to continue from the first incomplete phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointManifest {
+    /// Schema version ([`MANIFEST_VERSION`]).
+    pub version: u64,
+    /// [`input_digest`] of the job this manifest belongs to.
+    pub digest: u64,
+    /// Input length (also folded into the digest; kept explicit for
+    /// cheap pre-checks and observability).
+    pub n: u64,
+    /// Completed phases. Resume continues at phase `phases_done`.
+    pub phases_done: u64,
+    /// The plan's total phase count (sanity-checked on resume).
+    pub total_phases: u64,
+    /// Cumulative modeled stats over the completed phases: reads and
+    /// writes sum, peaks max (phases run sequentially on fresh machines,
+    /// so the footprint is the largest single phase — *not*
+    /// [`EmStats::merge`], whose summed peaks are lane semantics).
+    pub stats: EmStats,
+    /// The surviving sorted runs, in layout order. Pending chunks are
+    /// recomputable from the input, so only produced data is carried.
+    pub runs: Vec<Vec<Record>>,
+}
+
+impl CheckpointManifest {
+    /// Render as a single-line JSON object (runs as `[key, payload]`
+    /// pairs, like the job wire format).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("version", self.version)
+            .u64("digest", self.digest)
+            .u64("n", self.n)
+            .u64("phases_done", self.phases_done)
+            .u64("total_phases", self.total_phases);
+        let mut s = JsonObj::new();
+        s.u64("block_reads", self.stats.block_reads)
+            .u64("block_writes", self.stats.block_writes)
+            .u64("peak_memory", self.stats.peak_memory as u64);
+        o.raw("stats", &s.finish());
+        let mut runs = JsonArr::new();
+        for run in &self.runs {
+            let mut arr = JsonArr::new();
+            for r in run {
+                arr.raw(&format!("[{}, {}]", r.key, r.payload));
+            }
+            runs.raw(&arr.finish());
+        }
+        o.raw("runs", &runs.finish());
+        o.finish()
+    }
+
+    /// Decode a manifest. An unknown version is a typed
+    /// [`WireError::Malformed`] naming it — a future manifest must not be
+    /// half-read as an empty one.
+    pub fn from_json(text: &str) -> std::result::Result<CheckpointManifest, WireError> {
+        let bad = |m: String| WireError::Malformed(m);
+        let v = Json::parse(text).map_err(bad)?;
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| bad("manifest must be a JSON object".into()))?;
+        let req = |k: &str| {
+            json::get_u64(obj, k)
+                .ok_or_else(|| bad(format!("manifest missing numeric field {k:?}")))
+        };
+        let version = req("version")?;
+        if version != MANIFEST_VERSION {
+            return Err(bad(format!(
+                "manifest version {version} is not supported (this build speaks v{MANIFEST_VERSION})"
+            )));
+        }
+        let stats = json::find(obj, "stats")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("manifest missing \"stats\" object".into()))?;
+        let stat = |k: &str| {
+            json::get_u64(stats, k).ok_or_else(|| bad(format!("manifest stats missing {k:?}")))
+        };
+        let runs_v = json::find(obj, "runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("manifest missing \"runs\" array".into()))?;
+        let mut runs = Vec::with_capacity(runs_v.len());
+        for run in runs_v {
+            let items = run
+                .as_arr()
+                .ok_or_else(|| bad("manifest runs must be arrays".into()))?;
+            let mut records = Vec::with_capacity(items.len());
+            for item in items {
+                let pair = item
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| bad("run records are [key, payload] pairs".into()))?;
+                let key = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| bad("record key must be a u64".into()))?;
+                let payload = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| bad("record payload must be a u64".into()))?;
+                records.push(Record::new(key, payload));
+            }
+            runs.push(records);
+        }
+        Ok(CheckpointManifest {
+            version,
+            digest: req("digest")?,
+            n: req("n")?,
+            phases_done: req("phases_done")?,
+            total_phases: req("total_phases")?,
+            stats: EmStats {
+                block_reads: stat("block_reads")?,
+                block_writes: stat("block_writes")?,
+                peak_memory: stat("peak_memory")? as usize,
+            },
+            runs,
+        })
+    }
+
+    /// Full consistency check against the job this manifest claims to
+    /// belong to: version, digest, phase counters, and the run layout the
+    /// plan dictates (lengths and sortedness). `Err` carries the reason —
+    /// a server holding a non-matching manifest should fall back to a
+    /// fresh staged run rather than fail the job.
+    pub fn validate(&self, spec: &SortSpec, input: &[Record]) -> std::result::Result<(), String> {
+        if self.version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {}", self.version));
+        }
+        if self.n as usize != input.len() {
+            return Err(format!(
+                "manifest is for {} records, job has {}",
+                self.n,
+                input.len()
+            ));
+        }
+        let digest = input_digest(spec, input);
+        if self.digest != digest {
+            return Err(format!(
+                "digest mismatch: manifest {:#x}, job {:#x}",
+                self.digest, digest
+            ));
+        }
+        let plan = StagePlan::new(spec, input.len());
+        if self.total_phases != plan.total_phases() as u64 {
+            return Err(format!(
+                "manifest plans {} phases, spec plans {}",
+                self.total_phases,
+                plan.total_phases()
+            ));
+        }
+        if self.phases_done == 0 || self.phases_done > self.total_phases {
+            return Err(format!(
+                "phase counter {} out of range 1..={}",
+                self.phases_done, self.total_phases
+            ));
+        }
+        let layout = plan.layout_after(self.phases_done as usize);
+        if self.runs.len() != layout.len()
+            || self
+                .runs
+                .iter()
+                .zip(&layout)
+                .any(|(r, &len)| r.len() != len)
+        {
+            return Err(format!(
+                "run layout {:?} does not match the plan's {:?}",
+                self.runs.iter().map(Vec::len).collect::<Vec<_>>(),
+                layout
+            ));
+        }
+        for (i, run) in self.runs.iter().enumerate() {
+            if run.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("run {i} is not sorted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The slack a staged run's merge rounds need: the spec's own slack, or
+/// the mergesort's `2B + kM/B` footprint if that is larger (a
+/// non-mergesort spec's slack may not cover the merge's queue + buffers +
+/// run pointers).
+pub fn staged_slack(spec: &SortSpec) -> usize {
+    spec.slack()
+        .max(mergesort_slack(spec.m(), spec.b(), spec.k()))
+}
+
+/// Pre-run cost envelope for a *staged* run — the admission currency for
+/// checkpointed jobs. Chunk phases are priced by the per-chunk theorem
+/// envelopes ([`SortSpec::predict`]); each merge round adds the Lemma 4.1
+/// envelope `(k+1)` reads and one write per staged block (staging a run
+/// rounds up to a block, hence the `+ chunk count` term); the peak-memory
+/// bound accounts for the merge machine's [`staged_slack`].
+pub fn predict_staged(spec: &SortSpec, n: usize) -> CostEstimate {
+    let plan = StagePlan::new(spec, n);
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut peak = spec.m() + staged_slack(spec);
+    for &(lo, hi) in plan.chunks() {
+        let e = spec.predict(hi - lo);
+        reads += e.reads;
+        writes += e.writes;
+        peak = peak.max(e.peak_memory);
+    }
+    let round_blocks = (n.div_ceil(spec.b()) + plan.chunks().len()) as u64;
+    let rounds = plan.rounds() as u64;
+    reads += (spec.k() as u64 + 1) * round_blocks * rounds;
+    writes += round_blocks * rounds;
+    CostEstimate {
+        reads,
+        writes,
+        peak_memory: peak,
+        omega: spec.omega(),
+    }
+}
+
+/// Run the job as a staged, checkpointable sequence of phases, saving a
+/// manifest to `sink` after each. Output is identical to [`super::run`];
+/// modeled costs follow [`predict_staged`].
+pub fn run_staged(
+    spec: &SortSpec,
+    input: &[Record],
+    sink: &mut dyn Checkpointer,
+) -> Result<SortOutcome> {
+    let plan = StagePlan::new(spec, input.len());
+    execute(spec, input, &plan, 0, Vec::new(), EmStats::default(), sink)
+}
+
+/// Continue a staged run from `manifest`: verify it against `(spec,
+/// input)`, restage the surviving runs, and execute the remaining phases.
+/// The returned outcome — output *and* cumulative stats — is bit-identical
+/// to an uninterrupted [`run_staged`]. A manifest that fails validation is
+/// a [`ModelError::Invariant`] (callers that can should pre-check with
+/// [`CheckpointManifest::validate`] and fall back to a fresh run).
+pub fn resume_from(
+    spec: &SortSpec,
+    input: &[Record],
+    manifest: &CheckpointManifest,
+    sink: &mut dyn Checkpointer,
+) -> Result<SortOutcome> {
+    manifest
+        .validate(spec, input)
+        .map_err(|reason| ModelError::Invariant(format!("cannot resume: {reason}")))?;
+    let plan = StagePlan::new(spec, input.len());
+    execute(
+        spec,
+        input,
+        &plan,
+        manifest.phases_done as usize,
+        manifest.runs.clone(),
+        manifest.stats,
+        sink,
+    )
+}
+
+/// The phase interpreter both entry points share. `start` phases are
+/// already done, their surviving runs are `runs` and their cumulative
+/// stats `cum` — zero/empty for a fresh run.
+fn execute(
+    spec: &SortSpec,
+    input: &[Record],
+    plan: &StagePlan,
+    start: usize,
+    mut runs: Vec<Vec<Record>>,
+    mut cum: EmStats,
+    sink: &mut dyn Checkpointer,
+) -> Result<SortOutcome> {
+    let total = plan.total_phases();
+    let digest = input_digest(spec, input);
+    for phase in start..total {
+        let phase_stats = if let Some(&(lo, hi)) = plan.chunks().get(phase) {
+            if lo == hi {
+                runs.push(Vec::new());
+                EmStats::default()
+            } else {
+                let out = sorter_for(spec.algorithm()).run(spec, &input[lo..hi])?;
+                runs.push(out.output);
+                out.stats
+            }
+        } else {
+            let (merged, stats) = merge_round(spec, &runs, plan.fan_in)?;
+            runs = merged;
+            stats
+        };
+        // Sequential fold: counts add, footprints max (each phase runs on
+        // fresh machines, so the peak is the largest single phase).
+        cum.block_reads += phase_stats.block_reads;
+        cum.block_writes += phase_stats.block_writes;
+        cum.peak_memory = cum.peak_memory.max(phase_stats.peak_memory);
+        sink.save(&CheckpointManifest {
+            version: MANIFEST_VERSION,
+            digest,
+            n: input.len() as u64,
+            phases_done: (phase + 1) as u64,
+            total_phases: total as u64,
+            stats: cum,
+            runs: runs.clone(),
+        })?;
+    }
+    let output = runs.pop().expect("the plan always ends with one run");
+    debug_assert!(runs.is_empty(), "merge rounds must converge to one run");
+    Ok(SortOutcome {
+        output,
+        stats: cum,
+        report: cum.report(spec.omega()),
+        parallel: None,
+    })
+}
+
+/// One merge round: fold groups of `fan_in` surviving runs into one with
+/// the Lemma 4.1 merge, on a single machine sized by [`staged_slack`].
+/// Single-run groups carry over untouched (no work, no charge).
+fn merge_round(
+    spec: &SortSpec,
+    runs: &[Vec<Record>],
+    fan_in: usize,
+) -> Result<(Vec<Vec<Record>>, EmStats)> {
+    let em = merge_spec(spec).machine()?;
+    let mut out = Vec::with_capacity(runs.len().div_ceil(fan_in));
+    for group in runs.chunks(fan_in) {
+        if group.len() == 1 {
+            out.push(group[0].clone());
+            continue;
+        }
+        let staged: Vec<EmVec> = group.iter().map(|r| EmVec::stage(&em, r)).collect();
+        let merged = merge_sorted_runs(&em, &staged, spec.k())?;
+        out.push(merged.read_all_uncharged(&em));
+        merged.free(&em);
+        for v in staged {
+            v.free(&em);
+        }
+    }
+    assert_eq!(em.live_blocks(), 0, "merge round leaked disk blocks");
+    Ok((out, em.stats()))
+}
+
+/// The spec with its slack widened to [`staged_slack`] (identity when the
+/// spec's own slack already covers the merge).
+fn merge_spec(spec: &SortSpec) -> SortSpec {
+    let slack = staged_slack(spec);
+    if slack == spec.slack() {
+        return spec.clone();
+    }
+    let mut b = SortSpec::builder(spec.algorithm(), spec.m(), spec.b(), spec.omega())
+        .k(spec.k())
+        .lanes(spec.lanes())
+        .backend(spec.backend())
+        .seed(spec.seed())
+        .slack(slack)
+        .steal_charge(spec.steal_charge())
+        .fault(spec.fault());
+    if let Some(dir) = spec.file_dir() {
+        b = b.file_dir(dir);
+    }
+    b.build()
+        .expect("a valid spec stays valid under wider slack")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::{run, Algorithm};
+    use asym_model::workload::Workload;
+
+    fn spec_for(algorithm: Algorithm) -> SortSpec {
+        SortSpec::builder(algorithm, 32, 4, 8)
+            .k(2)
+            .lanes(if algorithm.is_parallel() { 4 } else { 1 })
+            .seed(11)
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn plans_are_deterministic_block_aligned_and_converge() {
+        let spec = spec_for(Algorithm::Mergesort);
+        for n in [0usize, 1, 3, 4, 50, 1_000, 10_000] {
+            let plan = StagePlan::new(&spec, n);
+            assert_eq!(plan, StagePlan::new(&spec, n));
+            let covered: usize = plan.chunks().iter().map(|&(lo, hi)| hi - lo).sum();
+            assert_eq!(covered, n, "n={n}");
+            for &(lo, hi) in plan.chunks() {
+                assert!(lo <= hi);
+                assert!(lo % spec.b() == 0, "chunks start block-aligned");
+            }
+            assert_eq!(plan.layout_after(plan.total_phases()), vec![n]);
+        }
+        // Many chunks at a small fan-in force multiple merge rounds.
+        let tight = SortSpec::builder(Algorithm::Mergesort, 8, 4, 8)
+            .build()
+            .unwrap();
+        let plan = StagePlan::new(&tight, 1_000);
+        assert!(plan.rounds() >= 2, "fan-in 2 over 8 chunks needs 3 rounds");
+    }
+
+    #[test]
+    fn staged_output_matches_the_single_shot_path() {
+        let input = Workload::Zipf.generate(900, 7);
+        for algorithm in Algorithm::ALL {
+            let spec = spec_for(algorithm);
+            let mut sink = MemCheckpointer::default();
+            let staged = run_staged(&spec, &input, &mut sink).expect("staged");
+            let plain = run(&spec, &input).expect("single-shot");
+            assert_eq!(staged.output, plain.output, "{algorithm}");
+            assert_eq!(
+                sink.manifests.len(),
+                StagePlan::new(&spec, input.len()).total_phases(),
+                "one manifest per phase"
+            );
+            let est = predict_staged(&spec, input.len());
+            assert!(staged.stats.block_reads <= est.reads, "{algorithm}");
+            assert!(staged.stats.block_writes <= est.writes, "{algorithm}");
+            assert!(staged.stats.peak_memory <= est.peak_memory, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_stage_cleanly() {
+        let spec = spec_for(Algorithm::Samplesort);
+        for n in [0usize, 1, 5] {
+            let input = Workload::UniformRandom.generate(n, 3);
+            let mut sink = MemCheckpointer::default();
+            let staged = run_staged(&spec, &input, &mut sink).expect("staged");
+            let mut expect = input.clone();
+            expect.sort();
+            assert_eq!(staged.output, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn manifests_round_trip_and_reject_garbage() {
+        let spec = spec_for(Algorithm::Mergesort);
+        let input = Workload::UniformRandom.generate(300, 5);
+        let mut sink = MemCheckpointer::default();
+        run_staged(&spec, &input, &mut sink).expect("staged");
+        for m in &sink.manifests {
+            let back = CheckpointManifest::from_json(&m.to_json()).expect("round trip");
+            assert_eq!(&back, m);
+            assert!(back.validate(&spec, &input).is_ok());
+        }
+        assert!(CheckpointManifest::from_json("42").is_err());
+        let future = sink.manifests[0]
+            .to_json()
+            .replacen("\"version\": 1", "\"version\": 9", 1);
+        let err = CheckpointManifest::from_json(&future).unwrap_err();
+        assert!(err.to_string().contains("version 9"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_wrong_job_phase_and_layout() {
+        let spec = spec_for(Algorithm::Mergesort);
+        let input = Workload::UniformRandom.generate(400, 9);
+        let mut sink = MemCheckpointer::default();
+        run_staged(&spec, &input, &mut sink).expect("staged");
+        let good = sink.manifests[1].clone();
+
+        // Different input: digest refuses.
+        let other = Workload::UniformRandom.generate(400, 10);
+        assert!(good.validate(&spec, &other).unwrap_err().contains("digest"));
+        // Different logical spec (seed participates in the digest).
+        let reseeded = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+            .k(2)
+            .seed(12)
+            .build()
+            .unwrap();
+        assert!(good.validate(&reseeded, &input).is_err());
+        // Tampered layout and phase counter.
+        let mut torn = good.clone();
+        torn.runs.pop();
+        assert!(torn.validate(&spec, &input).unwrap_err().contains("layout"));
+        let mut late = good.clone();
+        late.phases_done = late.total_phases + 1;
+        assert!(late.validate(&spec, &input).unwrap_err().contains("range"));
+        let mut shuffled = good.clone();
+        shuffled.runs[0].reverse();
+        assert!(shuffled
+            .validate(&spec, &input)
+            .unwrap_err()
+            .contains("not sorted"));
+        // And resume_from surfaces the same refusal typed.
+        let mut sink2 = MemCheckpointer::default();
+        assert!(matches!(
+            resume_from(&spec, &other, &good, &mut sink2),
+            Err(ModelError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn backend_and_fault_do_not_enter_the_digest() {
+        let input = Workload::UniformRandom.generate(100, 1);
+        let base = spec_for(Algorithm::Mergesort);
+        let faulted = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+            .k(2)
+            .seed(11)
+            .fault(Some(em_sim::FaultSpec::new(7)))
+            .build()
+            .unwrap();
+        assert_eq!(input_digest(&base, &input), input_digest(&faulted, &input));
+        let reseeded = SortSpec::builder(Algorithm::Mergesort, 32, 4, 8)
+            .k(2)
+            .seed(12)
+            .build()
+            .unwrap();
+        assert_ne!(input_digest(&base, &input), input_digest(&reseeded, &input));
+    }
+}

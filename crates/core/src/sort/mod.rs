@@ -49,9 +49,15 @@
 //! ```
 
 pub mod adapters;
+pub mod checkpoint;
 pub mod predict;
 pub mod spec;
 pub mod wire;
+
+pub use checkpoint::{
+    input_digest, predict_staged, resume_from, run_staged, CheckpointManifest, Checkpointer,
+    MemCheckpointer, StagePlan, MANIFEST_VERSION,
+};
 
 pub use adapters::{
     run, sorter_for, sorters, HeapsortSorter, MergesortSorter, ParData, ParSamplesortSorter,

@@ -73,6 +73,13 @@ pub struct KvConfig {
     /// Merge fan-in for compaction jobs; `None` derives `k = min(ω, M/B)`
     /// (the paper's ω-balanced choice, clamped to the geometry).
     pub sort_k: Option<usize>,
+    /// Route compactions through the service's checkpointed (staged)
+    /// execution path: every completed phase lands in the WAL as a
+    /// resumable manifest, so a crashed compaction never re-pays its
+    /// ω-weighted writes. Off by default — the staged path's modeled
+    /// costs include the per-phase envelope, so benchmarks pinning exact
+    /// counts should leave this off.
+    pub checkpoint_compactions: bool,
 }
 
 impl KvConfig {
@@ -89,6 +96,7 @@ impl KvConfig {
             backend: Backend::Mem,
             service_budget_bytes: 64 << 20,
             sort_k: None,
+            checkpoint_compactions: false,
         }
     }
 
@@ -434,7 +442,8 @@ impl AsymKv {
             return Ok(None);
         }
         let input_records = input.len();
-        let request = JobRequest::inline(self.compaction_spec()?, input);
+        let request = JobRequest::inline(self.compaction_spec()?, input)
+            .checkpointed(self.cfg.checkpoint_compactions);
         let predicted = request.predict();
         let result = self.service.submit_and_wait(request)?;
 

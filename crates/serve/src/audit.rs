@@ -78,12 +78,33 @@ pub enum AuditEvent {
         /// What the client asked for.
         deadline_ms: u64,
     },
+    /// Turned away by the I/O-cost budget (`reads + ω·writes`), the
+    /// second admission axis beside peak bytes.
+    RejectedIo {
+        /// The submission's predicted I/O cost.
+        predicted: u64,
+        /// What the I/O budget had left.
+        available: u64,
+    },
     /// A worker began attempt `attempt` (1-based).
     Started {
         /// The job.
         id: JobId,
         /// Which attempt this is.
         attempt: u32,
+    },
+    /// A staged job completed a phase; the manifest is durable the moment
+    /// this line is. Recovery hands the *latest* manifest back to the
+    /// re-queued job so a restarted worker resumes instead of restarting.
+    Checkpointed {
+        /// The job.
+        id: JobId,
+        /// Completed phases (the manifest's `phases_done`).
+        phase: u64,
+        /// [`CheckpointManifest::to_json`], embedded verbatim.
+        ///
+        /// [`CheckpointManifest::to_json`]: asym_core::sort::CheckpointManifest::to_json
+        manifest: String,
     },
     /// A retryable failure; the job re-queued with backoff.
     Retried {
@@ -137,8 +158,11 @@ impl AuditEvent {
     pub fn name(&self) -> &'static str {
         match self {
             AuditEvent::Accepted { .. } => "accepted",
-            AuditEvent::RejectedBudget { .. } | AuditEvent::RejectedDeadline { .. } => "rejected",
+            AuditEvent::RejectedBudget { .. }
+            | AuditEvent::RejectedDeadline { .. }
+            | AuditEvent::RejectedIo { .. } => "rejected",
             AuditEvent::Started { .. } => "started",
+            AuditEvent::Checkpointed { .. } => "checkpointed",
             AuditEvent::Retried { .. } => "retried",
             AuditEvent::Completed { .. } => "completed",
             AuditEvent::Failed { .. } => "failed",
@@ -178,8 +202,25 @@ impl AuditEvent {
                     .u64("eta_ms", *eta_ms)
                     .u64("deadline_ms", *deadline_ms);
             }
+            AuditEvent::RejectedIo {
+                predicted,
+                available,
+            } => {
+                o.str("reason", "io_budget")
+                    .u64("predicted", *predicted)
+                    .u64("available", *available);
+            }
             AuditEvent::Started { id, attempt } => {
                 o.u64("id", *id).u64("attempt", *attempt as u64);
+            }
+            AuditEvent::Checkpointed {
+                id,
+                phase,
+                manifest,
+            } => {
+                o.u64("id", *id)
+                    .u64("phase", *phase)
+                    .raw("manifest", manifest);
             }
             AuditEvent::Retried {
                 id,
@@ -263,6 +304,10 @@ impl AuditEvent {
                         eta_ms: json::get_u64(obj, "eta_ms").unwrap_or(0),
                         deadline_ms: json::get_u64(obj, "deadline_ms").unwrap_or(0),
                     }),
+                    "io_budget" => Ok(AuditEvent::RejectedIo {
+                        predicted: json::get_u64(obj, "predicted").unwrap_or(0),
+                        available: json::get_u64(obj, "available").unwrap_or(0),
+                    }),
                     other => Err(bad(format!("unknown rejection reason {other:?}"))),
                 }
             }
@@ -270,6 +315,17 @@ impl AuditEvent {
                 id: id()?,
                 attempt: attempt()?,
             }),
+            "checkpointed" => {
+                let manifest = json::find(obj, "manifest")
+                    .ok_or_else(|| bad("checkpointed event missing \"manifest\"".into()))?
+                    .render();
+                Ok(AuditEvent::Checkpointed {
+                    id: id()?,
+                    phase: json::get_u64(obj, "phase")
+                        .ok_or_else(|| bad("checkpointed event missing \"phase\"".into()))?,
+                    manifest,
+                })
+            }
             "retried" => Ok(AuditEvent::Retried {
                 id: id()?,
                 attempt: attempt()?,
@@ -345,6 +401,18 @@ pub struct ReplayJob {
     pub attempts: u32,
     /// The job's fate so far.
     pub outcome: ReplayOutcome,
+    /// The latest checkpoint manifest (embedded JSON), if the job made
+    /// phase progress before the log ended. A re-queued job resumes from
+    /// it instead of restarting.
+    pub manifest: Option<String>,
+    /// `phases_done` of that manifest (0: none). Only advances — a stale
+    /// or replayed `checkpointed` line can never roll progress back.
+    pub checkpoint_phase: u64,
+    /// The attempt count at the moment of the last phase progress — the
+    /// retry clock's epoch: backoff and fault decay key off
+    /// `attempts − attempts_at_checkpoint`, so attempts that *made*
+    /// progress are never re-billed.
+    pub attempts_at_checkpoint: u32,
 }
 
 /// The fold of a log prefix: everything a restarted service needs.
@@ -382,14 +450,36 @@ impl Replay {
                     request,
                     attempts: 0,
                     outcome: ReplayOutcome::Pending,
+                    manifest: None,
+                    checkpoint_phase: 0,
+                    attempts_at_checkpoint: 0,
                 });
             }
-            AuditEvent::RejectedBudget { .. } | AuditEvent::RejectedDeadline { .. } => {
+            AuditEvent::RejectedBudget { .. }
+            | AuditEvent::RejectedDeadline { .. }
+            | AuditEvent::RejectedIo { .. } => {
                 self.rejected += 1;
             }
             AuditEvent::Started { id, attempt } => {
                 if let Some(j) = self.jobs.get_mut(&id) {
                     j.attempts = j.attempts.max(attempt);
+                }
+            }
+            AuditEvent::Checkpointed {
+                id,
+                phase,
+                manifest,
+            } => {
+                // Progress only moves forward, and a manifest arriving
+                // after the job's terminal outcome is stale noise (a torn
+                // race the WAL ordering makes possible only across
+                // replays) — ignore both.
+                if let Some(j) = self.jobs.get_mut(&id) {
+                    if !j.outcome.is_terminal() && phase > j.checkpoint_phase {
+                        j.checkpoint_phase = phase;
+                        j.manifest = Some(manifest);
+                        j.attempts_at_checkpoint = j.attempts;
+                    }
                 }
             }
             AuditEvent::Retried { id, attempt, .. } => {
@@ -461,6 +551,7 @@ mod tests {
             input: None,
             include_output: false,
             deadline_ms: Some(9_000),
+            checkpoint: false,
         }
     }
 
@@ -529,6 +620,105 @@ mod tests {
                 _ => assert_eq!(ev, back, "{line}"),
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_and_io_rejection_events_round_trip() {
+        let io = AuditEvent::RejectedIo {
+            predicted: 5_000,
+            available: 300,
+        };
+        let line = io.to_json();
+        assert!(line.contains("\"io_budget\""), "{line}");
+        assert_eq!(AuditEvent::from_json(&line), Ok(io));
+
+        let manifest = Json::parse(r#"{"version": 1, "phases_done": 3}"#)
+            .unwrap()
+            .render();
+        let ev = AuditEvent::Checkpointed {
+            id: 9,
+            phase: 3,
+            manifest: manifest.clone(),
+        };
+        let back = AuditEvent::from_json(&ev.to_json()).expect("decode");
+        match back {
+            AuditEvent::Checkpointed {
+                id,
+                phase,
+                manifest: m,
+            } => {
+                assert_eq!((id, phase), (9, 3));
+                assert_eq!(Json::parse(&m).unwrap().render(), manifest);
+            }
+            other => panic!("decoded as {other:?}"),
+        }
+        // Required fields are enforced, not defaulted.
+        assert!(AuditEvent::from_json(r#"{"v": 1, "event": "checkpointed", "id": 9}"#).is_err());
+    }
+
+    #[test]
+    fn replay_tracks_checkpoint_progress_monotonically() {
+        let r = request();
+        let mut log = String::new();
+        for ev in [
+            AuditEvent::Accepted {
+                id: 0,
+                request: r.clone(),
+                predicted_bytes: 100,
+            },
+            AuditEvent::Started { id: 0, attempt: 1 },
+            AuditEvent::Checkpointed {
+                id: 0,
+                phase: 1,
+                manifest: r#"{"phases_done": 1}"#.into(),
+            },
+            AuditEvent::Checkpointed {
+                id: 0,
+                phase: 2,
+                manifest: r#"{"phases_done": 2}"#.into(),
+            },
+            // A duplicated / late-arriving older manifest must not roll
+            // progress back.
+            AuditEvent::Checkpointed {
+                id: 0,
+                phase: 1,
+                manifest: r#"{"phases_done": 1}"#.into(),
+            },
+        ] {
+            log.push_str(&ev.to_json());
+            log.push('\n');
+        }
+        let rep = replay(&log).expect("replays");
+        let j = &rep.jobs[&0];
+        assert_eq!(j.checkpoint_phase, 2);
+        assert!(j.manifest.as_deref().unwrap().contains("2"));
+        assert_eq!(j.attempts_at_checkpoint, 1, "progress made on attempt 1");
+        assert_eq!(j.outcome, ReplayOutcome::Pending);
+
+        // After a terminal outcome, a stale manifest line is ignored.
+        let mut terminal = log.clone();
+        for ev in [
+            AuditEvent::Completed {
+                id: 0,
+                telemetry: r#"{"reads": 7}"#.into(),
+            },
+            AuditEvent::Checkpointed {
+                id: 0,
+                phase: 3,
+                manifest: r#"{"phases_done": 3}"#.into(),
+            },
+        ] {
+            terminal.push_str(&ev.to_json());
+            terminal.push('\n');
+        }
+        let rep2 = replay(&terminal).expect("replays");
+        assert!(rep2.jobs[&0].outcome.is_terminal());
+        assert_eq!(
+            rep2.jobs[&0].checkpoint_phase, 2,
+            "stale manifest after terminal outcome is ignored"
+        );
+        // And replay is idempotent over the extended log too.
+        assert_eq!(replay(&terminal).unwrap(), rep2);
     }
 
     #[test]

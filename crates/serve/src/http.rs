@@ -161,7 +161,7 @@ fn handle(stream: TcpStream, service: &SortService) -> HandleResult {
                     o.u64("id", id).raw("status", &status.to_json());
                     respond(stream, 202, "Accepted", &o.finish());
                 }
-                Err(e @ SubmitError::Rejected { .. }) => {
+                Err(e @ (SubmitError::Rejected { .. } | SubmitError::RejectedIo { .. })) => {
                     respond(stream, 429, "Too Many Requests", &e.to_json());
                 }
                 Err(e @ SubmitError::DeadlineUnmeetable { .. }) => {

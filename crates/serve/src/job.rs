@@ -14,7 +14,7 @@
 //! `include_output` chooses between lean telemetry and full sorted output
 //! in the completion payload.
 
-use asym_core::sort::{CostEstimate, SortSpec, WireError};
+use asym_core::sort::{checkpoint, CostEstimate, SortSpec, WireError};
 use asym_model::json::{self, Json, JsonArr, JsonObj};
 use asym_model::workload::Workload;
 use asym_model::Record;
@@ -53,6 +53,17 @@ pub struct JobRequest {
     /// queue expiry: a job still queued when the budget lapses becomes
     /// [`JobState::Expired`] without running. `None`: no deadline.
     pub deadline_ms: Option<u64>,
+    /// Run the job as a staged, checkpointable sequence of phases
+    /// ([`checkpoint::run_staged`]): every completed phase is persisted to
+    /// the audit WAL as a `checkpointed` event, and a crashed or killed
+    /// attempt resumes from its latest manifest instead of restarting.
+    /// Output is identical to the single-shot path; modeled costs follow
+    /// the staged envelope ([`checkpoint::predict_staged`]), which is what
+    /// `predict()` prices when this is set.
+    ///
+    /// [`checkpoint::run_staged`]: asym_core::sort::checkpoint::run_staged
+    /// [`checkpoint::predict_staged`]: asym_core::sort::checkpoint::predict_staged
+    pub checkpoint: bool,
 }
 
 impl JobRequest {
@@ -68,7 +79,15 @@ impl JobRequest {
             input: Some(input),
             include_output: true,
             deadline_ms: None,
+            checkpoint: false,
         }
+    }
+
+    /// Toggle staged, checkpointable execution (see
+    /// [`checkpoint`](Self::checkpoint)).
+    pub fn checkpointed(mut self, on: bool) -> JobRequest {
+        self.checkpoint = on;
+        self
     }
 
     /// How many records this job sorts — the inline payload length when
@@ -77,9 +96,15 @@ impl JobRequest {
         self.input.as_ref().map_or(self.records, Vec::len)
     }
 
-    /// The pre-run cost bounds the service admits on.
+    /// The pre-run cost bounds the service admits on: the single-shot
+    /// envelope normally, the staged envelope for checkpointed jobs (the
+    /// execution they actually get).
     pub fn predict(&self) -> CostEstimate {
-        self.spec.predict(self.record_count())
+        if self.checkpoint {
+            checkpoint::predict_staged(&self.spec, self.record_count())
+        } else {
+            self.spec.predict(self.record_count())
+        }
     }
 
     /// Render as a single-line JSON object (`spec` nested verbatim,
@@ -100,6 +125,9 @@ impl JobRequest {
         }
         if let Some(d) = self.deadline_ms {
             o.u64("deadline_ms", d);
+        }
+        if self.checkpoint {
+            o.bool("checkpoint", true);
         }
         o.finish()
     }
@@ -158,6 +186,7 @@ impl JobRequest {
             input,
             include_output: json::get_bool(obj, "include_output").unwrap_or(false),
             deadline_ms: json::get_u64(obj, "deadline_ms"),
+            checkpoint: json::get_bool(obj, "checkpoint").unwrap_or(false),
         })
     }
 }
@@ -306,7 +335,27 @@ mod tests {
             input: None,
             include_output: true,
             deadline_ms: Some(2_500),
+            checkpoint: false,
         }
+    }
+
+    #[test]
+    fn checkpoint_flag_round_trips_and_reprices() {
+        let r = request().checkpointed(true);
+        let decoded = JobRequest::from_json(&r.to_json()).expect("decode");
+        assert_eq!(decoded, r);
+        assert!(decoded.checkpoint);
+        assert_eq!(
+            r.predict(),
+            checkpoint::predict_staged(&r.spec, r.record_count()),
+            "checkpointed jobs are priced by the staged envelope"
+        );
+        let plain = request();
+        assert_eq!(plain.predict(), plain.spec.predict(plain.record_count()));
+        assert!(
+            !JobRequest::from_json(&plain.to_json()).unwrap().checkpoint,
+            "absent flag defaults off"
+        );
     }
 
     #[test]

@@ -19,6 +19,18 @@
 //! `em_sim::FaultStore` fault injector plugs into job specs so all of it
 //! is testable under a seeded storm (`tests/chaos.rs`).
 //!
+//! Long jobs can opt into *checkpointed* execution
+//! ([`JobRequest::checkpoint`]): the sort runs as a staged sequence of
+//! phases, every completed phase lands in the WAL as a `checkpointed`
+//! manifest, and a crashed, killed, or retried attempt resumes from the
+//! latest manifest instead of restarting — recovery re-queues unfinished
+//! jobs *with* their manifests, and the retry/backoff/fault-decay clocks
+//! key off attempts-since-last-progress so work that checkpointed is
+//! never re-billed. The queue itself is ETA-priority ordered (smallest
+//! predicted remaining I/O first, with an aging credit so bulk jobs
+//! cannot starve), and admission budgets both predicted peak bytes and
+//! predicted I/O cost ([`SubmitError::RejectedIo`]).
+//!
 //! ```
 //! use asym_core::sort::{Algorithm, SortSpec};
 //! use asym_model::workload::Workload;
@@ -35,6 +47,7 @@
 //!         input: None,
 //!         include_output: false,
 //!         deadline_ms: None,
+//!         checkpoint: false,
 //!     })
 //!     .expect("within budget");
 //! let done = service.wait(id).expect("known job");

@@ -38,7 +38,7 @@
 
 use crate::audit::{replay, AuditError, AuditEvent, ReplayOutcome};
 use crate::job::{FailureKind, JobId, JobRequest, JobState, JobStatus};
-use asym_core::sort::{self, CostEstimate, SortSpec, SpecError};
+use asym_core::sort::{self, CheckpointManifest, Checkpointer, CostEstimate, SortSpec, SpecError};
 use asym_model::json::JsonObj;
 use asym_model::ModelError;
 use em_sim::{Backend, FaultSpec};
@@ -71,6 +71,16 @@ pub struct ServiceConfig {
     /// deadline admission. `0` (the default) disables the ETA check;
     /// queue expiry still applies.
     pub io_per_ms: u64,
+    /// Second admission axis: max summed predicted I/O cost
+    /// (`reads + ω·writes`, [`CostEstimate::io_cost`]) in flight. A
+    /// submission over this line is a typed [`SubmitError::RejectedIo`],
+    /// distinct from the memory rejection. `0` (the default): unlimited.
+    pub io_budget: u64,
+    /// Aging rate of the ETA-priority queue: every millisecond a job
+    /// waits discounts its effective cost by this many modeled I/O units,
+    /// so bulk jobs cannot starve behind a stream of small ones. `0`
+    /// disables aging (pure shortest-ETA-first).
+    pub aging_io_per_ms: u64,
 }
 
 impl ServiceConfig {
@@ -85,6 +95,8 @@ impl ServiceConfig {
             backoff_base_ms: 10,
             backoff_cap_ms: 1_000,
             io_per_ms: 0,
+            io_budget: 0,
+            aging_io_per_ms: 16,
         }
     }
 }
@@ -98,6 +110,15 @@ pub enum SubmitError {
         /// The job's predicted peak bytes ([`CostEstimate::peak_bytes`]).
         predicted: u64,
         /// Budget minus bytes currently in flight.
+        available: u64,
+    },
+    /// Admitting this job would exceed the I/O-cost budget
+    /// (`reads + ω·writes`) — the second admission axis. Typed apart from
+    /// [`SubmitError::Rejected`] so clients know *which* budget refused.
+    RejectedIo {
+        /// The job's predicted I/O cost ([`CostEstimate::io_cost`]).
+        predicted: u64,
+        /// I/O budget minus cost currently in flight.
         available: u64,
     },
     /// The modeled ETA on an otherwise idle service already exceeds the
@@ -131,6 +152,18 @@ impl SubmitError {
                         "predicted peak memory exceeds the available budget",
                     );
             }
+            SubmitError::RejectedIo {
+                predicted,
+                available,
+            } => {
+                o.str("error", "rejected_io")
+                    .u64("predicted", *predicted)
+                    .u64("available", *available)
+                    .str(
+                        "message",
+                        "predicted I/O cost exceeds the available I/O budget",
+                    );
+            }
             SubmitError::DeadlineUnmeetable {
                 eta_ms,
                 deadline_ms,
@@ -158,6 +191,13 @@ impl std::fmt::Display for SubmitError {
             } => write!(
                 f,
                 "rejected: predicted peak {predicted} B exceeds available {available} B"
+            ),
+            SubmitError::RejectedIo {
+                predicted,
+                available,
+            } => write!(
+                f,
+                "rejected: predicted I/O cost {predicted} exceeds available {available}"
             ),
             SubmitError::DeadlineUnmeetable {
                 eta_ms,
@@ -240,6 +280,14 @@ pub struct ServiceStats {
     pub peak_in_flight_bytes: u64,
     /// The configured admission budget.
     pub budget_bytes: u64,
+    /// Summed predicted I/O cost of admitted-but-unfinished jobs.
+    pub in_flight_io: u64,
+    /// High-water mark of `in_flight_io`.
+    pub peak_in_flight_io: u64,
+    /// The configured I/O-cost budget (0: unlimited).
+    pub io_budget: u64,
+    /// Checkpoint manifests recorded over the service lifetime.
+    pub checkpoints: u64,
 }
 
 impl ServiceStats {
@@ -257,7 +305,11 @@ impl ServiceStats {
             .u64("active", self.active)
             .u64("in_flight_bytes", self.in_flight_bytes)
             .u64("peak_in_flight_bytes", self.peak_in_flight_bytes)
-            .u64("budget_bytes", self.budget_bytes);
+            .u64("budget_bytes", self.budget_bytes)
+            .u64("in_flight_io", self.in_flight_io)
+            .u64("peak_in_flight_io", self.peak_in_flight_io)
+            .u64("io_budget", self.io_budget)
+            .u64("checkpoints", self.checkpoints);
         o.finish()
     }
 }
@@ -272,6 +324,22 @@ struct JobEntry {
     telemetry: Option<String>,
     error: Option<String>,
     failure: Option<FailureKind>,
+    /// When the job entered the queue — the aging clock of the
+    /// ETA-priority scheduler.
+    enqueued_at: Instant,
+    /// Latest checkpoint manifest (embedded JSON) for a staged job; the
+    /// next attempt resumes from it.
+    manifest: Option<String>,
+    /// `phases_done` of that manifest (0: no progress yet).
+    checkpoint_phase: u64,
+    /// The plan's total phase count, once known (0: unknown) — lets the
+    /// scheduler scale remaining work by phases left.
+    checkpoint_total: u64,
+    /// Attempt count at the moment of the last phase progress: the retry
+    /// clock's epoch. Backoff and fault decay key off
+    /// `attempts − attempts_at_progress`, so an attempt that completed a
+    /// phase is never re-billed as a failure.
+    attempts_at_progress: u32,
 }
 
 #[derive(Default)]
@@ -283,6 +351,12 @@ struct State {
     jobs: HashMap<JobId, JobEntry>,
     in_flight_bytes: u64,
     peak_in_flight_bytes: u64,
+    in_flight_io: u64,
+    peak_in_flight_io: u64,
+    checkpoints: u64,
+    /// Admin hold: workers leave the queue untouched until released —
+    /// tests use this to line up a deterministic schedule.
+    held: bool,
     active: u64,
     draining: bool,
     drained: bool,
@@ -386,6 +460,14 @@ impl SortService {
         for (id, job) in rep.jobs {
             st.submitted += 1;
             let predicted = job.request.predict();
+            // A recovered staged job carries its latest durable manifest:
+            // the next attempt resumes from it instead of restarting, and
+            // its retry clock restarts at the manifest's progress epoch.
+            let checkpoint_total = job
+                .manifest
+                .as_deref()
+                .and_then(|m| asym_core::sort::CheckpointManifest::from_json(m).ok())
+                .map_or(0, |m| m.total_phases);
             let mut entry = JobEntry {
                 predicted,
                 state: JobState::Queued,
@@ -395,6 +477,11 @@ impl SortService {
                 error: None,
                 failure: None,
                 request: job.request,
+                enqueued_at: now,
+                manifest: job.manifest,
+                checkpoint_phase: job.checkpoint_phase,
+                checkpoint_total,
+                attempts_at_progress: job.attempts_at_checkpoint,
             };
             match job.outcome {
                 ReplayOutcome::Pending => {
@@ -406,6 +493,7 @@ impl SortService {
                         .deadline_ms
                         .map(|ms| now + Duration::from_millis(ms));
                     st.in_flight_bytes += predicted.peak_bytes();
+                    st.in_flight_io += predicted.io_cost();
                     st.queue.push_back(id);
                     report.requeued += 1;
                 }
@@ -432,6 +520,7 @@ impl SortService {
             st.jobs.insert(id, entry);
         }
         st.peak_in_flight_bytes = st.in_flight_bytes;
+        st.peak_in_flight_io = st.in_flight_io;
 
         let service = SortService::boot(cfg, st, Some(report))?;
         Ok((service, report))
@@ -509,6 +598,22 @@ impl SortService {
                     available,
                 });
             }
+            let need_io = predicted.io_cost();
+            if self.inner.cfg.io_budget > 0 {
+                let available = self.inner.cfg.io_budget.saturating_sub(st.in_flight_io);
+                if need_io > available {
+                    st.rejected += 1;
+                    drop(st);
+                    self.inner.audit_event(&AuditEvent::RejectedIo {
+                        predicted: need_io,
+                        available,
+                    });
+                    return Err(SubmitError::RejectedIo {
+                        predicted: need_io,
+                        available,
+                    });
+                }
+            }
             if let (Some(deadline_ms), rate) = (request.deadline_ms, self.inner.cfg.io_per_ms) {
                 if rate > 0 {
                     let eta_ms = predicted.io_cost().div_ceil(rate);
@@ -531,6 +636,8 @@ impl SortService {
             st.submitted += 1;
             st.in_flight_bytes += need;
             st.peak_in_flight_bytes = st.peak_in_flight_bytes.max(st.in_flight_bytes);
+            st.in_flight_io += need_io;
+            st.peak_in_flight_io = st.peak_in_flight_io.max(st.in_flight_io);
             st.jobs.insert(
                 id,
                 JobEntry {
@@ -544,6 +651,11 @@ impl SortService {
                     telemetry: None,
                     error: None,
                     failure: None,
+                    enqueued_at: Instant::now(),
+                    manifest: None,
+                    checkpoint_phase: 0,
+                    checkpoint_total: 0,
+                    attempts_at_progress: 0,
                 },
             );
             // WAL ordering: the accepted record must be on disk before the
@@ -629,7 +741,26 @@ impl SortService {
             in_flight_bytes: st.in_flight_bytes,
             peak_in_flight_bytes: st.peak_in_flight_bytes,
             budget_bytes: self.inner.cfg.budget_bytes,
+            in_flight_io: st.in_flight_io,
+            peak_in_flight_io: st.peak_in_flight_io,
+            io_budget: self.inner.cfg.io_budget,
+            checkpoints: st.checkpoints,
         }
+    }
+
+    /// Admin hold: workers stop picking up queued (and parked) jobs until
+    /// [`release`](SortService::release). Running jobs finish. Tests use
+    /// the pair to line up a queue and observe the scheduler's order
+    /// deterministically; [`drain`](SortService::drain) clears a hold so a
+    /// held service still shuts down.
+    pub fn hold(&self) {
+        self.inner.state.lock().expect("service state").held = true;
+    }
+
+    /// Lift an admin [`hold`](SortService::hold).
+    pub fn release(&self) {
+        self.inner.state.lock().expect("service state").held = false;
+        self.inner.work_ready.notify_all();
     }
 
     /// Graceful shutdown: refuse new submissions, let every admitted job
@@ -642,6 +773,9 @@ impl SortService {
                 return;
             }
             st.draining = true;
+            // A hold must not outlive a drain: the whole point of drain is
+            // that admitted work finishes.
+            st.held = false;
             self.inner.work_ready.notify_all();
             while !st.queue.is_empty() || !st.delayed.is_empty() || st.active > 0 {
                 expire_overdue(&self.inner, &mut st);
@@ -742,8 +876,8 @@ fn expire_overdue(inner: &Inner, st: &mut State) {
         let e = st.jobs.get_mut(&id).expect("overdue job exists");
         e.state = JobState::Expired;
         e.error = Some("deadline expired while queued".into());
-        let need = e.predicted.peak_bytes();
-        st.in_flight_bytes -= need;
+        st.in_flight_bytes -= e.predicted.peak_bytes();
+        st.in_flight_io -= e.predicted.io_cost();
         st.expired += 1;
         inner.audit_event(&AuditEvent::Expired { id });
     }
@@ -756,24 +890,53 @@ struct JobFailure {
     message: String,
 }
 
+/// The ETA-priority pick: the queued job with the lowest *effective*
+/// cost — modeled I/O still owed (scaled by phases left, for checkpointed
+/// jobs whose completed phases are already paid for) minus an aging
+/// credit of [`ServiceConfig::aging_io_per_ms`] per millisecond waited.
+/// Small urgent jobs jump bulk ones; the aging term guarantees every
+/// job's effective cost eventually goes lowest, so nothing starves. Ties
+/// break to the lower id (submission order). Returns the queue index.
+fn pick_next(st: &State, cfg: &ServiceConfig, now: Instant) -> Option<usize> {
+    let mut best: Option<(i128, JobId, usize)> = None;
+    for (pos, &id) in st.queue.iter().enumerate() {
+        let Some(e) = st.jobs.get(&id) else { continue };
+        let io = e.predicted.io_cost();
+        let remaining = if e.checkpoint_total > 0 {
+            let left = e.checkpoint_total - e.checkpoint_phase.min(e.checkpoint_total);
+            (io as u128 * left as u128 / e.checkpoint_total as u128) as u64
+        } else {
+            io
+        };
+        let age_ms = now.saturating_duration_since(e.enqueued_at).as_millis() as i128;
+        let effective = remaining as i128 - age_ms * cfg.aging_io_per_ms as i128;
+        if best.is_none_or(|(be, bid, _)| (effective, id) < (be, bid)) {
+            best = Some((effective, id, pos));
+        }
+    }
+    best.map(|(_, _, pos)| pos)
+}
+
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
-        let (id, request, attempt) = {
+        let (id, request, attempt, failed_since_progress, manifest) = {
             let mut st = inner.state.lock().expect("service state");
             let id = loop {
                 if st.killed {
                     return;
                 }
                 expire_overdue(inner, &mut st);
-                if let Some(id) = st.queue.pop_front() {
-                    break id;
-                }
                 let now = Instant::now();
-                if let Some(i) = st.delayed.iter().position(|&(due, _)| due <= now) {
-                    let (_, id) = st.delayed.swap_remove(i);
-                    break id;
+                if !st.held {
+                    if let Some(pos) = pick_next(&st, &inner.cfg, now) {
+                        break st.queue.remove(pos).expect("picked index in range");
+                    }
+                    if let Some(i) = st.delayed.iter().position(|&(due, _)| due <= now) {
+                        let (_, id) = st.delayed.swap_remove(i);
+                        break id;
+                    }
                 }
-                if st.draining && st.delayed.is_empty() {
+                if st.draining && st.queue.is_empty() && st.delayed.is_empty() {
                     return;
                 }
                 // Sleep until the earliest reason to wake: a due retry, a
@@ -800,34 +963,59 @@ fn worker_loop(inner: &Arc<Inner>) {
             entry.state = JobState::Running;
             entry.attempts += 1;
             let attempt = entry.attempts;
+            // The fault-decay clock counts only attempts since the last
+            // phase progress: an attempt that checkpointed a phase reset
+            // the storm's schedule along with the retry clock.
+            let failed_since_progress = (attempt - 1).saturating_sub(entry.attempts_at_progress);
+            let manifest = entry.manifest.clone();
             inner.audit_event(&AuditEvent::Started { id, attempt });
-            (id, entry.request.clone(), attempt)
+            (
+                id,
+                entry.request.clone(),
+                attempt,
+                failed_since_progress,
+                manifest,
+            )
         };
 
         // The sort runs outside the lock, fenced by catch_unwind: a
         // panicking sorter becomes a typed failure, not a dead worker.
-        let result = catch_unwind(AssertUnwindSafe(|| run_job(inner, id, &request, attempt)))
-            .unwrap_or_else(|payload| {
-                // Store paths with no `Result` channel (block appends,
-                // cursor reads) unwind injected device faults as a typed
-                // payload — those are transient I/O, not bugs, and retry.
-                if let Some(io) = payload.downcast_ref::<em_sim::StoreIoPanic>() {
-                    return Err(JobFailure {
-                        kind: FailureKind::Io,
-                        message: format!("store I/O: {io}"),
-                    });
-                }
-                Err(JobFailure {
-                    kind: FailureKind::Panic,
-                    message: panic_message(payload.as_ref()),
-                })
-            });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_job(
+                inner,
+                id,
+                &request,
+                failed_since_progress,
+                manifest.as_deref(),
+            )
+        }))
+        .unwrap_or_else(|payload| {
+            // Store paths with no `Result` channel (block appends,
+            // cursor reads) unwind injected device faults as a typed
+            // payload — those are transient I/O, not bugs, and retry.
+            if let Some(io) = payload.downcast_ref::<em_sim::StoreIoPanic>() {
+                return Err(JobFailure {
+                    kind: FailureKind::Io,
+                    message: format!("store I/O: {io}"),
+                });
+            }
+            Err(JobFailure {
+                kind: FailureKind::Panic,
+                message: panic_message(payload.as_ref()),
+            })
+        });
 
         {
             let mut st = inner.state.lock().expect("service state");
             let max_attempts = inner.cfg.max_attempts.max(1);
             let entry = st.jobs.get_mut(&id).expect("running job exists");
             let need = entry.predicted.peak_bytes();
+            let need_io = entry.predicted.io_cost();
+            // The retry budget is per progress epoch: attempts that
+            // completed a phase (this one included — the checkpointer may
+            // have advanced the epoch while we ran) moved the epoch
+            // forward and are not billed against `max_attempts`.
+            let effective_attempts = attempt.saturating_sub(entry.attempts_at_progress);
             enum Done {
                 Completed,
                 Retried(u64),
@@ -841,11 +1029,11 @@ fn worker_loop(inner: &Arc<Inner>) {
                     inner.audit_event(&AuditEvent::Completed { id, telemetry });
                     Done::Completed
                 }
-                Err(f) if f.kind.retryable() && attempt < max_attempts && !st.killed => {
+                Err(f) if f.kind.retryable() && effective_attempts < max_attempts && !st.killed => {
                     let entry = st.jobs.get_mut(&id).expect("running job exists");
                     entry.state = JobState::Queued;
                     entry.error = Some(f.message.clone());
-                    let shift = (attempt - 1).min(20);
+                    let shift = effective_attempts.saturating_sub(1).min(20);
                     let backoff_ms = inner
                         .cfg
                         .backoff_base_ms
@@ -877,9 +1065,10 @@ fn worker_loop(inner: &Arc<Inner>) {
                 Done::Completed => {
                     st.completed += 1;
                     st.in_flight_bytes -= need;
+                    st.in_flight_io -= need_io;
                 }
                 Done::Retried(backoff_ms) => {
-                    // The budget stays held: the job is still the
+                    // The budgets stay held: the job is still the
                     // service's responsibility, just parked.
                     st.retried += 1;
                     st.delayed
@@ -888,6 +1077,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                 Done::Failed => {
                     st.failed += 1;
                     st.in_flight_bytes -= need;
+                    st.in_flight_io -= need_io;
                 }
             }
         }
@@ -896,15 +1086,51 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
+/// The [`Checkpointer`] the worker hands a staged job: each manifest is
+/// appended to the audit WAL *first* (durability), then credited to the
+/// job's in-memory entry — progress only ever advances, and advancing it
+/// moves the retry clock's epoch so the attempt that made progress is
+/// never re-billed. The two locks are taken strictly in sequence (audit,
+/// then state), never nested, per the service's lock order.
+struct ServiceCheckpointer {
+    inner: Arc<Inner>,
+    id: JobId,
+}
+
+impl Checkpointer for ServiceCheckpointer {
+    fn save(&mut self, manifest: &CheckpointManifest) -> asym_model::Result<()> {
+        let rendered = manifest.to_json();
+        self.inner.audit_event(&AuditEvent::Checkpointed {
+            id: self.id,
+            phase: manifest.phases_done,
+            manifest: rendered.clone(),
+        });
+        let mut st = self.inner.state.lock().expect("service state");
+        st.checkpoints += 1;
+        if let Some(e) = st.jobs.get_mut(&self.id) {
+            if manifest.phases_done > e.checkpoint_phase {
+                e.checkpoint_phase = manifest.phases_done;
+                e.checkpoint_total = manifest.total_phases;
+                e.manifest = Some(rendered);
+                e.attempts_at_progress = e.attempts;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Run one attempt: materialize the input (inline payload, or regenerated
 /// from the named workload), point file-backed storage and
-/// the fault schedule at this attempt, sort, render telemetry. Failures
-/// come back classified.
+/// the fault schedule at this attempt, sort, render telemetry. Staged
+/// (checkpointed) jobs resume from their latest durable manifest when it
+/// still validates, and fall back to a fresh staged run otherwise.
+/// Failures come back classified.
 fn run_job(
     inner: &Arc<Inner>,
     id: JobId,
     request: &JobRequest,
-    attempt: u32,
+    failed_since_progress: u32,
+    manifest: Option<&str>,
 ) -> Result<String, JobFailure> {
     let dir = if request.spec.backend() == Backend::File {
         let dir = inner.cfg.root_dir.join(format!("job-{id}"));
@@ -920,8 +1146,14 @@ fn run_job(
     };
     // Each retry decays the injected-fault schedule (`for_attempt`): the
     // storm abates while the backoff waits it out, so chaos runs
-    // terminate by construction.
-    let fault = request.spec.fault().map(|f| f.for_attempt(attempt - 1));
+    // terminate by construction. The clock is attempts *since the last
+    // checkpoint progress*, not absolute attempts — a staged job that
+    // keeps finishing phases keeps its storm (and its backoff) fresh
+    // rather than being billed for attempts that worked.
+    let fault = request
+        .spec
+        .fault()
+        .map(|f| f.for_attempt(failed_since_progress));
     let spec = if dir.is_some() || fault != request.spec.fault() {
         respec(&request.spec, dir, fault).map_err(|e| JobFailure {
             kind: FailureKind::Fatal,
@@ -937,7 +1169,27 @@ fn run_job(
             .workload
             .generate(request.records, request.data_seed),
     };
-    let outcome = sort::run(&spec, &input).map_err(|e| JobFailure {
+    let outcome = if request.checkpoint {
+        // Staged path: resume from the latest durable manifest when it
+        // still matches this job (the digest ignores backend/file_dir/
+        // fault, so the per-attempt respec cannot orphan a manifest);
+        // otherwise start a fresh staged run. Either way every completed
+        // phase lands in the WAL via the service checkpointer.
+        let mut sink = ServiceCheckpointer {
+            inner: Arc::clone(inner),
+            id,
+        };
+        let resume = manifest
+            .and_then(|m| CheckpointManifest::from_json(m).ok())
+            .filter(|m| m.validate(&spec, &input).is_ok());
+        match resume {
+            Some(m) => sort::resume_from(&spec, &input, &m, &mut sink),
+            None => sort::run_staged(&spec, &input, &mut sink),
+        }
+    } else {
+        sort::run(&spec, &input)
+    }
+    .map_err(|e| JobFailure {
         kind: match e {
             ModelError::Io(_) => FailureKind::Io,
             _ => FailureKind::Fatal,

@@ -37,6 +37,7 @@ fn standard_job(data_seed: u64) -> JobRequest {
         input: None,
         include_output: true,
         deadline_ms: None,
+        checkpoint: false,
     }
 }
 

@@ -98,6 +98,7 @@ fn job(spec: SortSpec, records: usize, data_seed: u64) -> JobRequest {
         input: None,
         include_output: false,
         deadline_ms: None,
+        checkpoint: false,
     }
 }
 

@@ -32,6 +32,7 @@ fn job(data_seed: u64, records: usize) -> JobRequest {
         input: None,
         include_output: true,
         deadline_ms: None,
+        checkpoint: false,
     }
 }
 
@@ -172,7 +173,7 @@ fn session_log() -> &'static str {
         cfg.max_attempts = 12;
         cfg.backoff_base_ms = 1;
         cfg.backoff_cap_ms = 10;
-        cfg.budget_bytes = job(0, 60_000).predict().peak_bytes() * 4;
+        cfg.budget_bytes = job(0, 60_000).predict().peak_bytes() * 6;
         let service = SortService::start(cfg).expect("start");
 
         // Every job here skips output telemetry: the exhaustive prefix
@@ -184,8 +185,13 @@ fn session_log() -> &'static str {
             j
         };
 
-        // Busy job pins the single worker...
-        service.submit(job(0, 60_000)).expect("admitted");
+        // Busy job pins the single worker. The queue is ETA-priority, not
+        // FIFO, so wait until the worker actually picked it up — otherwise
+        // the smaller jobs below would jump it.
+        let busy = service.submit(job(0, 60_000)).expect("admitted");
+        while service.status(busy).expect("known").state == JobState::Queued {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         // ...so a 1 ms deadline lapses in the queue: a deterministic
         // `expired` event.
         let mut dated = job(1, 3_000);
@@ -211,6 +217,12 @@ fn session_log() -> &'static str {
             .build()
             .expect("valid spec");
         service.submit(doomed).expect("admitted");
+        // A staged job: `checkpointed` events with embedded manifests, so
+        // the prefix sweeps below slice through manifest lines too. Kept
+        // tiny (still 9 phases) — the exhaustive byte-prefix sweep is
+        // quadratic in the log size, and manifests embed the run layout.
+        let staged = job(9, 120).checkpointed(true);
+        service.submit(staged).expect("admitted");
         // And one the budget turns away: a `rejected` event. Peak bytes
         // scale with M, not the record count, so ask for a monster M.
         let mut monster = job(4, 1_000);
@@ -229,7 +241,7 @@ fn session_log() -> &'static str {
         // The session must actually contain the variety the prefixes are
         // sliced from.
         let full = replay(&text).expect("replays");
-        assert_eq!(full.jobs.len(), 4);
+        assert_eq!(full.jobs.len(), 5);
         assert!(full.retries >= 1, "the fault storm fired");
         assert_eq!(full.rejected, 1);
         assert!(matches!(full.jobs[&1].outcome, ReplayOutcome::Expired));
@@ -241,6 +253,14 @@ fn session_log() -> &'static str {
             full.jobs[&3].outcome,
             ReplayOutcome::Failed { kind, .. } if kind == asym_serve::FailureKind::Panic
         ));
+        assert!(matches!(
+            full.jobs[&4].outcome,
+            ReplayOutcome::Completed { .. }
+        ));
+        assert!(
+            full.jobs[&4].checkpoint_phase > 0 && full.jobs[&4].manifest.is_some(),
+            "the staged job left checkpointed events in the log"
+        );
         text
     })
 }
@@ -252,9 +272,11 @@ fn longer_prefixes_only_add_information() {
     let mut prev_terminal: Vec<(u64, ReplayOutcome)> = Vec::new();
     let mut prev_next_id = 0u64;
     let mut prev_jobs = 0usize;
+    let mut prev_phases: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     // Every byte prefix, exhaustively: replay never errors (the cut can
     // only tear the final line), and state grows monotonically — ids and
-    // jobs never regress, terminal outcomes never change or un-terminalize.
+    // jobs never regress, terminal outcomes never change or
+    // un-terminalize, checkpoint progress never rolls back.
     for cut in 0..=text.len() {
         let rep = replay(&text[..cut]).expect("prefix replays");
         assert!(rep.next_id >= prev_next_id, "id counter regressed at {cut}");
@@ -265,6 +287,14 @@ fn longer_prefixes_only_add_information() {
                 &rep.jobs[id].outcome, outcome,
                 "terminal outcome changed at {cut}"
             );
+        }
+        for (&id, j) in &rep.jobs {
+            let prev = prev_phases.get(&id).copied().unwrap_or(0);
+            assert!(
+                j.checkpoint_phase >= prev,
+                "checkpoint progress of job {id} regressed at {cut}"
+            );
+            prev_phases.insert(id, j.checkpoint_phase);
         }
         prev_terminal = rep
             .jobs
@@ -300,6 +330,11 @@ proptest! {
             let f = &full.jobs[id];
             prop_assert_eq!(&j.request, &f.request, "request {} mutated", id);
             prop_assert!(j.attempts <= f.attempts);
+            prop_assert!(
+                j.checkpoint_phase <= f.checkpoint_phase,
+                "checkpoint progress of {} ahead of the full log",
+                id
+            );
             if j.outcome.is_terminal() {
                 prop_assert_eq!(&j.outcome, &f.outcome, "terminal outcome {} drifted", id);
             }

@@ -48,6 +48,7 @@ fn main() {
                 input: None,
                 include_output: false,
                 deadline_ms: None,
+                checkpoint: false,
             },
         ),
         (
@@ -63,6 +64,7 @@ fn main() {
                 input: None,
                 include_output: false,
                 deadline_ms: None,
+                checkpoint: false,
             },
         ),
         (
@@ -78,6 +80,7 @@ fn main() {
                 input: None,
                 include_output: false,
                 deadline_ms: None,
+                checkpoint: false,
             },
         ),
         (
@@ -93,6 +96,7 @@ fn main() {
                 input: None,
                 include_output: false,
                 deadline_ms: None,
+                checkpoint: false,
             },
         ),
     ];

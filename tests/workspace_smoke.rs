@@ -57,6 +57,7 @@ fn umbrella_reexports_resolve() {
         input: None,
         include_output: false,
         deadline_ms: None,
+        checkpoint: false,
     };
     assert!(request.predict().peak_bytes() > 0);
     let wire = request.to_json();
